@@ -1,0 +1,104 @@
+// Command advisor recommends cluster compositions for graph workloads: it
+// profiles the EC2 catalog on synthetic proxy graphs (Section V-C of the
+// paper) and enumerates machine combinations under an hourly budget, ranking
+// them by proxy-measured throughput or throughput per dollar.
+//
+// Usage:
+//
+//	advisor -budget 2.50
+//	advisor -budget 1.00 -objective speed-per-dollar -max 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"proxygraph/internal/advisor"
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+	"proxygraph/internal/metrics"
+)
+
+func main() {
+	var (
+		budget    = flag.Float64("budget", 2.0, "hourly budget in USD (0 = unlimited)")
+		objective = flag.String("objective", "speed", "objective: speed or speed-per-dollar")
+		maxM      = flag.Int("max", 8, "maximum machines in a composition")
+		minM      = flag.Int("min", 1, "minimum machines in a composition")
+		scale     = flag.Int("scale", 256, "proxy graphs at 1/scale of Table II size")
+		seed      = flag.Uint64("seed", 42, "profiling seed")
+	)
+	flag.Parse()
+
+	var obj advisor.Objective
+	switch *objective {
+	case "speed":
+		obj = advisor.MaxSpeed
+	case "speed-per-dollar":
+		obj = advisor.MaxSpeedPerDollar
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	var catalog []cluster.Machine
+	for _, m := range cluster.Catalog() {
+		if m.Virtual {
+			catalog = append(catalog, m)
+		}
+	}
+
+	fmt.Println("profiling the catalog on synthetic proxy graphs...")
+	profiler, err := core.NewProxyProfiler(*scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	speeds, err := advisor.MeasureSpeeds(catalog, apps.All(), profiler)
+	if err != nil {
+		fatal(err)
+	}
+
+	_, top, err := advisor.Recommend(catalog, speeds, advisor.Request{
+		BudgetPerHour: *budget,
+		MaxMachines:   *maxM,
+		MinMachines:   *minM,
+		Objective:     obj,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("Top compositions (budget $%.2f/h, objective %s)", *budget, *objective),
+		"rank", "machines", "$/hour", "speed", "speed/$")
+	for i, s := range top {
+		t.AddRow(fmt.Sprint(i+1), compact(s.MachineNames),
+			fmt.Sprintf("%.3f", s.CostPerHour),
+			metrics.F(s.Speed, 1), metrics.F(s.SpeedPerDollar, 1))
+	}
+	t.AddNote("speeds are proxy-profiled (geomean over the paper's four applications and three proxies)")
+	fmt.Print(t)
+}
+
+// compact renders ["a","a","b"] as "2x a + 1x b".
+func compact(names []string) string {
+	counts := map[string]int{}
+	var order []string
+	for _, n := range names {
+		if counts[n] == 0 {
+			order = append(order, n)
+		}
+		counts[n]++
+	}
+	parts := make([]string, len(order))
+	for i, n := range order {
+		parts[i] = fmt.Sprintf("%dx %s", counts[n], n)
+	}
+	return strings.Join(parts, " + ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advisor:", err)
+	os.Exit(1)
+}

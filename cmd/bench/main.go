@@ -1,0 +1,162 @@
+// Command bench reproduces the paper's evaluation: every table and figure
+// of Section V plus the DESIGN.md ablations, at a configurable fraction of
+// the published graph sizes.
+//
+// Usage:
+//
+//	bench                       # everything at 1/64 scale
+//	bench -exp fig9 -scale 16   # one experiment, bigger graphs
+//	bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"proxygraph/internal/exp"
+	"proxygraph/internal/metrics"
+	"proxygraph/internal/report"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*exp.Lab) ([]*metrics.Table, error)
+}
+
+func one(f func(*exp.Lab) (*metrics.Table, error)) func(*exp.Lab) ([]*metrics.Table, error) {
+	return func(l *exp.Lab) ([]*metrics.Table, error) {
+		t, err := f(l)
+		if err != nil {
+			return nil, err
+		}
+		return []*metrics.Table{t}, nil
+	}
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "machine configurations", func(l *exp.Lab) ([]*metrics.Table, error) {
+			return []*metrics.Table{exp.TableI()}, nil
+		}},
+		{"table2", "graphs with fitted alphas", one((*exp.Lab).TableII)},
+		{"fig2", "estimated vs real speedup scaling", one((*exp.Lab).Fig2)},
+		{"fig6", "power-law degree distribution", one((*exp.Lab).Fig6)},
+		{"fig8a", "CCR accuracy, c4 ladder", one((*exp.Lab).Fig8a)},
+		{"fig8b", "CCR accuracy, 2xlarge categories", one((*exp.Lab).Fig8b)},
+		{"fig9", "Case 1 runtimes (EC2, 4 apps x 4 graphs x 5 cuts)", func(l *exp.Lab) ([]*metrics.Table, error) {
+			tables, err := l.Fig9()
+			if err != nil {
+				return nil, err
+			}
+			summary, err := l.Fig9Summary()
+			if err != nil {
+				return nil, err
+			}
+			return append(tables, summary), nil
+		}},
+		{"fig10a", "Case 2 performance and energy", one((*exp.Lab).Fig10a)},
+		{"fig10b", "Case 3 performance and energy", one((*exp.Lab).Fig10b)},
+		{"fig11", "cost/performance Pareto", one((*exp.Lab).Fig11)},
+		{"replication", "replication factor by algorithm (incl. HDRF)", one((*exp.Lab).ReplicationStudy)},
+		{"ingress", "loading/finalization makespans", one((*exp.Lab).IngressStudy)},
+		{"dynamic", "Mizan-style dynamic balancing vs static CCR ingress", one((*exp.Lab).DynamicStudy)},
+		{"amortization", "one-time profiling cost vs session gains", one((*exp.Lab).AmortizationStudy)},
+		{"freqsweep", "CCR vs little-machine frequency", one((*exp.Lab).FrequencySweep)},
+		{"abl-hybrid", "hybrid threshold sweep", one((*exp.Lab).AblationHybridThreshold)},
+		{"abl-ginger", "ginger gamma sweep", one((*exp.Lab).AblationGingerGamma)},
+		{"abl-proxyset", "proxy set coverage", one((*exp.Lab).AblationProxySet)},
+		{"abl-scale", "CCR scale invariance", one((*exp.Lab).AblationScaleInvariance)},
+		{"abl-subsample", "proxies vs natural-graph subsampling", one((*exp.Lab).AblationSubsample)},
+	}
+}
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		which = flag.String("exp", "all", "experiment name or 'all'")
+		scale = flag.Int("scale", 64, "run graphs at 1/scale of Table II size (1 = full)")
+		seed  = flag.Uint64("seed", 42, "experiment seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		html  = flag.String("html", "", "additionally write a self-contained HTML report here")
+	)
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	names := map[string]experiment{}
+	var order []string
+	for _, e := range exps {
+		names[e.name] = e
+		order = append(order, e.name)
+	}
+	var selected []string
+	if *which == "all" {
+		selected = order
+	} else {
+		for _, n := range strings.Split(*which, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := names[n]; !ok {
+				known := append([]string(nil), order...)
+				sort.Strings(known)
+				fatal(fmt.Errorf("unknown experiment %q; known: %s", n, strings.Join(known, ", ")))
+			}
+			selected = append(selected, n)
+		}
+	}
+
+	lab := exp.NewLab(exp.Config{Scale: *scale, Seed: *seed})
+	var rep *report.Report
+	if *html != "" {
+		rep = report.New("proxygraph: paper reproduction",
+			fmt.Sprintf("scale 1/%d, seed %d, experiments: %s", *scale, *seed, strings.Join(selected, ", ")))
+	}
+	for _, name := range selected {
+		e := names[name]
+		start := time.Now()
+		tables, err := e.run(lab)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Printf("\n%s", t)
+			}
+		}
+		if rep != nil {
+			rep.Add(tables...)
+		}
+		fmt.Printf("# %s finished in %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if rep != nil {
+		f, err := os.Create(*html)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteHTML(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote HTML report with %d sections to %s\n", rep.Len(), *html)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+// Command graphgen generates the paper's graphs — the synthetic power-law
+// proxies of Algorithm 1 and the Table II real-world emulations — and writes
+// them as SNAP-style text edge lists or the compact binary format.
+//
+// Usage:
+//
+//	graphgen -kind powerlaw -vertices 3200000 -alpha 1.95 -out proxy1.bin
+//	graphgen -spec SyntheticGraph_two -scale 64 -out proxy2.txt
+//	graphgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the Table II graph specs and exit")
+		specName = flag.String("spec", "", "generate a named Table II spec")
+		kind     = flag.String("kind", "powerlaw", "generator kind: powerlaw, amazon, citation, social, wiki, rmat")
+		vertices = flag.Int64("vertices", 100000, "vertex count (custom spec)")
+		edges    = flag.Int64("edges", 0, "target edge count (custom spec; 0 = natural density)")
+		alpha    = flag.Float64("alpha", 0, "power-law exponent (0 = fit from vertices/edges)")
+		scale    = flag.Int("scale", 1, "divide the spec's size by this factor")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		out      = flag.String("out", "", "output path (.bin for binary, otherwise text); empty = stats only")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range gen.TableII() {
+			fmt.Printf("%-22s |V|=%-9d |E|=%-9d kind=%-9s alpha=%v\n",
+				s.Name, s.Vertices, s.Edges, s.Kind, s.Alpha)
+		}
+		return
+	}
+
+	spec, err := resolveSpec(*specName, *kind, *vertices, *edges, *alpha)
+	if err != nil {
+		fatal(err)
+	}
+	spec = spec.Scale(*scale)
+
+	g, err := gen.Generate(spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %q: %d vertices, %d edges, avg degree %.2f, alpha %.3f, ~%.1fMB\n",
+		g.Name, g.NumVertices, g.NumEdges(), g.AvgDegree(), g.Alpha,
+		float64(g.FootprintBytes())/(1<<20))
+	if *out != "" {
+		if err := graph.WriteFile(*out, g); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func resolveSpec(name, kind string, vertices, edges int64, alpha float64) (gen.Spec, error) {
+	if name != "" {
+		for _, s := range gen.TableII() {
+			if s.Name == name {
+				return s, nil
+			}
+		}
+		return gen.Spec{}, fmt.Errorf("unknown spec %q (try -list)", name)
+	}
+	var k gen.Kind
+	switch kind {
+	case "powerlaw":
+		k = gen.KindPowerLaw
+	case "amazon":
+		k = gen.KindAmazon
+	case "citation":
+		k = gen.KindCitation
+	case "social":
+		k = gen.KindSocial
+	case "wiki":
+		k = gen.KindWiki
+	case "rmat":
+		k = gen.KindRMAT
+	default:
+		return gen.Spec{}, fmt.Errorf("unknown kind %q", kind)
+	}
+	return gen.Spec{Name: "custom-" + kind, Vertices: vertices, Edges: edges, Alpha: alpha, Kind: k}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command graphstats summarizes a graph file: size, density, fitted power-law
+// exponent, degree extremes and a log-binned degree histogram — everything
+// the proxy methodology needs to know about an input before picking or
+// extending the proxy set.
+//
+// Usage:
+//
+//	graphstats -file social.bin
+//	graphstats -file g.txt -histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"proxygraph/internal/graph"
+	"proxygraph/internal/metrics"
+	"proxygraph/internal/powerlaw"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "graph file (.txt edge list or .bin)")
+		histogram = flag.Bool("histogram", false, "print the log-binned out-degree histogram")
+	)
+	flag.Parse()
+	if *file == "" {
+		fatal(fmt.Errorf("need -file"))
+	}
+	g, err := graph.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphstats: warning:", err)
+	}
+
+	fmt.Printf("file            %s\n", *file)
+	fmt.Printf("vertices        %d\n", g.NumVertices)
+	fmt.Printf("edges           %d\n", g.NumEdges())
+	fmt.Printf("avg degree      %.4f\n", g.AvgDegree())
+	fmt.Printf("max degree      %d\n", g.MaxDegree())
+	fmt.Printf("est. footprint  %.1f MB (text)\n", float64(g.FootprintBytes())/(1<<20))
+	if g.Weights != nil {
+		fmt.Printf("weighted        yes (%d weights)\n", len(g.Weights))
+	}
+
+	alpha, err := powerlaw.FitAlphaForGraph(int64(g.NumVertices), int64(g.NumEdges()))
+	if err != nil {
+		fmt.Printf("alpha (moment)  (fit failed: %v)\n", err)
+	} else {
+		fmt.Printf("alpha (moment)  %.4f", alpha)
+		if alpha >= 1.9 && alpha <= 2.4 {
+			fmt.Printf("  (inside the default proxy band 1.9..2.4)\n")
+		} else {
+			fmt.Printf("  (OUTSIDE the default proxy band: extend the proxy set)\n")
+		}
+	}
+	if mle, err := powerlaw.FitAlphaMLE(g.OutDegrees(), 1); err != nil {
+		fmt.Printf("alpha (MLE)     (fit failed: %v)\n", err)
+	} else {
+		fmt.Printf("alpha (MLE)     %.4f  (Clauset-style, from the full degree sequence)\n", mle)
+	}
+
+	if *histogram {
+		deg, count := graph.DegreeHistogram(g.OutDegrees())
+		t := metrics.NewTable("out-degree histogram (log buckets)", "degree", "vertices", "bar")
+		maxCount := int64(0)
+		type bucket struct {
+			lo, hi int
+			total  int64
+		}
+		var buckets []bucket
+		lo, idx := 1, 0
+		for lo <= g.MaxDegree() {
+			hi := lo * 2
+			total := int64(0)
+			for idx < len(deg) && deg[idx] < hi {
+				total += count[idx]
+				idx++
+			}
+			if total > 0 {
+				buckets = append(buckets, bucket{lo, hi - 1, total})
+				if total > maxCount {
+					maxCount = total
+				}
+			}
+			lo = hi
+		}
+		for _, b := range buckets {
+			bar := ""
+			if maxCount > 0 {
+				for i := int64(0); i < b.total*40/maxCount; i++ {
+					bar += "#"
+				}
+			}
+			label := fmt.Sprintf("%d-%d", b.lo, b.hi)
+			if b.lo == b.hi {
+				label = fmt.Sprint(b.lo)
+			}
+			t.AddRow(label, fmt.Sprint(b.total), bar)
+		}
+		fmt.Println()
+		fmt.Print(t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command profiler runs the paper's one-time offline CCR profiling
+// (Fig 7a): it generates the synthetic proxy graphs, executes every
+// application on one representative machine per group, and emits the CCR
+// pool as JSON for later graph-processing runs.
+//
+// Usage:
+//
+//	profiler -cluster m4.2xlarge,c4.2xlarge -scale 64 -out pool.json
+//	profiler -cluster xeon:4:2.5,xeon:12:2.5 -estimator prior-work
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cliutil"
+	"proxygraph/internal/core"
+)
+
+func main() {
+	var (
+		clusterSpec = flag.String("cluster", "m4.2xlarge,c4.2xlarge",
+			"comma-separated machines: catalog names or name:cores:freqGHz for local Xeons")
+		estimator = flag.String("estimator", "proxy", "estimator: proxy, prior-work, default")
+		scale     = flag.Int("scale", 64, "proxy graphs at 1/scale of Table II size")
+		seed      = flag.Uint64("seed", 42, "profiling seed")
+		out       = flag.String("out", "", "write the CCR pool JSON here (default stdout)")
+	)
+	flag.Parse()
+
+	cl, err := cliutil.ParseCluster(*clusterSpec)
+	if err != nil {
+		fatal(err)
+	}
+	est, err := cliutil.ParseEstimator(*estimator, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	pool, err := core.BuildPool(cl, apps.All(), est)
+	if err != nil {
+		fatal(err)
+	}
+
+	data, err := json.MarshalIndent(pool, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiled %d applications with %q on %d machine groups -> %s\n",
+		pool.Len(), est.Name(), len(cl.Representatives()), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profiler:", err)
+	os.Exit(1)
+}

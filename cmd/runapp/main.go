@@ -1,0 +1,152 @@
+// Command runapp executes one graph application end-to-end on a simulated
+// heterogeneous cluster: load or generate the graph, pick the CCR (from a
+// profiled pool file, live proxy profiling, prior-work estimation or the
+// uniform default), partition, run, and report runtime, energy, per-machine
+// loads and optionally the superstep timeline.
+//
+// Usage:
+//
+//	runapp -app pagerank -file g.bin -cluster xeon:4:2.5,xeon:12:2.5
+//	runapp -app triangle_count -spec amazon -scale 64 -estimator prior-work
+//	runapp -app coloring -pool pool.json -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cliutil"
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/metrics"
+	"proxygraph/internal/partition"
+)
+
+func main() {
+	var (
+		appName     = flag.String("app", "pagerank", "application: pagerank, coloring, connected_components, triangle_count, bfs, sssp, kcore")
+		file        = flag.String("file", "", "graph file (.txt or .bin); overrides -spec")
+		specName    = flag.String("spec", "social_network", "Table II spec to generate when no -file is given")
+		scale       = flag.Int("scale", 64, "spec scale divisor")
+		clusterSpec = flag.String("cluster", "xeon:4:2.5,xeon:12:2.5", "machines: catalog names or name:cores:freqGHz")
+		algo        = flag.String("algo", "hybrid", "partitioning algorithm")
+		estimator   = flag.String("estimator", "proxy", "CCR source: proxy, prior-work, default")
+		poolFile    = flag.String("pool", "", "CCR pool JSON from cmd/profiler (overrides -estimator)")
+		seed        = flag.Uint64("seed", 42, "run seed")
+		trace       = flag.Bool("trace", false, "print the superstep timeline")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	cl, err := cliutil.ParseCluster(*clusterSpec)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := loadGraph(*file, *specName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	ccr, err := resolveCCR(cl, app, *poolFile, *estimator, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	shares, err := ccr.SharesFor(cl)
+	if err != nil {
+		fatal(err)
+	}
+	part, err := partition.ByName(*algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	pl, err := partition.Apply(part, g, shares, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	ingress, err := engine.Ingress(pl, cl)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := app.Run(pl, cl)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s (%d vertices, %d edges), %d machines, %s cut\n",
+		app.Name(), g.Name, g.NumVertices, g.NumEdges(), cl.Size(), part.Name())
+	fmt.Printf("ingress makespan   %s\n", metrics.Seconds(ingress.Makespan))
+	fmt.Printf("execution makespan %s over %d supersteps\n", metrics.Seconds(res.SimSeconds), res.Supersteps)
+	fmt.Printf("energy             %.1f J\n", res.EnergyJoules)
+	fmt.Printf("replication factor %.3f\n", pl.ReplicationFactor())
+	for p, m := range cl.Machines {
+		fmt.Printf("  m%-2d %-14s busy %s  sent %.0f KB  share %.1f%%\n",
+			p, m.Name, metrics.Seconds(res.BusySeconds[p]), res.CommBytes[p]/1024, shares[p]*100)
+	}
+	if stragglers := engine.StragglerShare(res); stragglers != nil {
+		fmt.Printf("straggler shares   %v\n", formatShares(stragglers))
+	}
+	if *trace {
+		fmt.Println()
+		fmt.Print(engine.TraceGantt(res, 48))
+	}
+}
+
+func loadGraph(file, specName string, scale int, seed uint64) (*graph.Graph, error) {
+	if file != "" {
+		g, err := graph.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if g.Name == "" {
+			g.Name = file
+		}
+		return g, nil
+	}
+	for _, s := range gen.TableII() {
+		if s.Name == specName {
+			return gen.Generate(s.Scale(scale), seed)
+		}
+	}
+	return nil, fmt.Errorf("unknown spec %q (see graphgen -list)", specName)
+}
+
+func resolveCCR(cl *cluster.Cluster, app apps.App, poolFile, estimator string, scale int, seed uint64) (core.CCR, error) {
+	if poolFile != "" {
+		pool, err := core.LoadPoolFile(poolFile)
+		if err != nil {
+			return core.CCR{}, err
+		}
+		ccr, ok := pool.Get(app.Name())
+		if !ok {
+			return core.CCR{}, fmt.Errorf("pool %s has no CCR for %q", poolFile, app.Name())
+		}
+		return ccr, nil
+	}
+	est, err := cliutil.ParseEstimator(estimator, scale, seed)
+	if err != nil {
+		return core.CCR{}, err
+	}
+	return est.Estimate(cl, app)
+}
+
+func formatShares(shares []float64) string {
+	parts := make([]string, len(shares))
+	for i, s := range shares {
+		parts[i] = fmt.Sprintf("m%d:%.0f%%", i, s*100)
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runapp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Amortization: the economics of one-time proxy profiling.
+//
+// The paper's Section III-B argues that CCR profiling is cheap because it is
+// offline and reusable: "graph applications are often reused to analyze
+// dozens of different real world graphs". This example simulates a session
+// of thirty mixed jobs on a big+little cluster and prints the cumulative
+// time under the uniform default versus the proxy-guided system — including
+// the proxy system's upfront profiling cost — showing where the investment
+// pays off.
+//
+// Run with: go run ./examples/amortization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proxygraph"
+)
+
+func main() {
+	cl, err := proxygraph.NewCluster(
+		proxygraph.LocalXeon("xeon-4c", 4, 2.5),
+		proxygraph.LocalXeon("xeon-12c", 12, 2.5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs, err := proxygraph.RandomJobs(30, 256, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := &proxygraph.WorkloadSession{Cluster: cl}
+
+	defaultRep, err := session.Run(jobs, proxygraph.UniformEstimator())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Profile with proxies a quarter of the production size: CCRs are
+	// scale-invariant, so the offline cost shrinks without losing accuracy.
+	profiler, err := proxygraph.NewProxyProfiler(1024, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxyRep, err := session.Run(jobs, profiler)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("one-time profiling cost: %.4fs simulated\n\n", proxyRep.ProfilingSeconds)
+	fmt.Println("jobs   default cumulative   proxy cumulative (incl. profiling)")
+	for _, checkpoint := range []int{1, 3, 5, 10, 20, 30} {
+		i := checkpoint - 1
+		marker := ""
+		if proxyRep.CumulativeSeconds[i] < defaultRep.CumulativeSeconds[i] {
+			marker = "   <- proxy ahead"
+		}
+		fmt.Printf("%4d   %18.4fs   %15.4fs%s\n",
+			checkpoint, defaultRep.CumulativeSeconds[i], proxyRep.CumulativeSeconds[i], marker)
+	}
+	cross := proxygraph.SessionCrossover(proxyRep, defaultRep)
+	if cross > 0 {
+		fmt.Printf("\nprofiling amortized after %d jobs; session totals: default %.4fs, proxy %.4fs (%.1f%% energy saved)\n",
+			cross, defaultRep.Total(), proxyRep.Total(),
+			(1-proxyRep.TotalEnergyJoules/defaultRep.TotalEnergyJoules)*100)
+	} else {
+		fmt.Println("\nprofiling did not amortize within this session")
+	}
+}

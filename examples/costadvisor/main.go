@@ -1,0 +1,76 @@
+// Costadvisor: the paper's Section V-C cost-efficiency projection.
+//
+// Cloud users cannot tell which instance type is cost-effective for graph
+// work from the price sheet alone. This example profiles every EC2 machine
+// of Table I on the synthetic proxy set and prints, per application, the
+// speedup/cost Pareto — reproducing the paper's observations that the three
+// 2xlarge categories cluster together and that c4.8xlarge is the most
+// expensive machine per task for graph workloads.
+//
+// Run with: go run ./examples/costadvisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"proxygraph"
+)
+
+func main() {
+	profiler, err := proxygraph.NewProxyProfiler(256, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var machines []proxygraph.Machine
+	for _, m := range proxygraph.MachineCatalog() {
+		if m.Virtual {
+			machines = append(machines, m)
+		}
+	}
+
+	for _, app := range proxygraph.Apps() {
+		type point struct {
+			name          string
+			speedup, cost float64
+		}
+		var points []point
+		var slowest float64
+		times := map[string]float64{}
+		for _, m := range machines {
+			cl, err := proxygraph.NewCluster(m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := 0.0
+			for _, proxy := range profiler.Proxies {
+				res, err := proxygraph.RunUniform(app, proxy, cl, proxygraph.NewRandomHash(), 1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				total += res.SimSeconds
+			}
+			times[m.Name] = total
+			if total > slowest {
+				slowest = total
+			}
+		}
+		for _, m := range machines {
+			points = append(points, point{
+				name:    m.Name,
+				speedup: slowest / times[m.Name],
+				cost:    m.CostPerTask(times[m.Name]),
+			})
+		}
+		sort.Slice(points, func(i, j int) bool { return points[i].cost < points[j].cost })
+
+		fmt.Printf("\n%s (cheapest per task first):\n", app.Name())
+		for _, p := range points {
+			fmt.Printf("  %-12s speedup %5.2fx  cost/task $%.6f\n", p.name, p.speedup, p.cost)
+		}
+		fmt.Printf("  -> best value: %s; most expensive: %s\n",
+			points[0].name, points[len(points)-1].name)
+	}
+}

@@ -1,0 +1,82 @@
+// Heterocluster: the paper's Case 2 / Case 3 study on local servers.
+//
+// A big 12-core machine is paired with a little 4-core machine — first at
+// the same frequency (Case 2), then with the little machine downclocked to
+// 1.8GHz to emulate the tiny ARM-like servers appearing in data centers
+// (Case 3). For every application the example compares three systems:
+// the uniform default, the prior work's thread-count partitioning, and
+// proxy-guided CCR partitioning, reporting runtime and energy.
+//
+// Run with: go run ./examples/heterocluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"proxygraph"
+)
+
+func main() {
+	little := proxygraph.LocalXeon("xeon-4c", 4, 2.5)
+	big := proxygraph.LocalXeon("xeon-12c", 12, 2.5)
+
+	fmt.Println("=== Case 2: same frequency range (4 cores + 12 cores @ 2.5GHz) ===")
+	study(little, big)
+
+	fmt.Println("\n=== Case 3: little machine downclocked to 1.8GHz (tiny-server projection) ===")
+	study(little.WithFrequency(1.8), big)
+}
+
+func study(littleM, bigM proxygraph.Machine) {
+	cl, err := proxygraph.NewCluster(littleM, bigM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The three systems under comparison.
+	profiler, err := proxygraph.NewProxyProfiler(256, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	systems := []struct {
+		name string
+		est  proxygraph.Estimator
+	}{
+		{"default", proxygraph.UniformEstimator()},
+		{"prior-work", proxygraph.NewThreadCountEstimator()},
+		{"proxy-guided", profiler},
+	}
+
+	// A social-network-like workload.
+	g, err := proxygraph.Generate(proxygraph.Spec{
+		Name: "social-demo", Vertices: 75_000, Edges: 1_000_000,
+		Kind: proxygraph.KindSocial,
+	}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, app := range proxygraph.Apps() {
+		var baseTime, baseEnergy float64
+		fmt.Printf("%-22s", app.Name())
+		for _, sys := range systems {
+			pool, err := proxygraph.BuildPool(cl, proxygraph.Apps(), sys.est)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := proxygraph.RunPooled(app, g, cl, proxygraph.NewHybrid(), pool, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sys.name == "default" {
+				baseTime, baseEnergy = res.SimSeconds, res.EnergyJoules
+				fmt.Printf("  %s: %7.4fs", sys.name, res.SimSeconds)
+				continue
+			}
+			fmt.Printf("  %s: %.2fx/%.0f%% energy", sys.name,
+				baseTime/res.SimSeconds, (1-res.EnergyJoules/baseEnergy)*100)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module proxygraph
+
+go 1.22

@@ -1,0 +1,53 @@
+// Package apps implements the paper's four MLDM graph applications —
+// PageRank, Coloring, Connected Components and Triangle Count (Section IV) —
+// plus a BFS extension demonstrating that "any special-purpose application
+// can be sampled and fit into our flow" (Section III-B).
+//
+// PageRank and Connected Components run on the synchronous GAS engine;
+// Coloring runs asynchronously (as in PowerGraph, which the paper notes
+// limits its balancing benefit); Triangle Count is a one-shot edge-parallel
+// computation. All four compute real outputs: the simulated cluster affects
+// time and energy, never results.
+package apps
+
+import (
+	"fmt"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+)
+
+// App is one runnable graph application.
+type App interface {
+	// Name is the application's label in CCR pools and experiment tables.
+	Name() string
+	// Run executes the application over a placement on a cluster.
+	Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error)
+}
+
+// All returns the paper's four applications with default parameters, in the
+// order the paper's figures list them.
+func All() []App {
+	return []App{
+		NewPageRank(),
+		NewColoring(),
+		NewConnectedComponents(),
+		NewTriangleCount(),
+	}
+}
+
+// WithExtensions returns All plus the applications beyond the paper's set
+// (BFS, weighted SSSP, k-core decomposition, asynchronous delta PageRank).
+func WithExtensions() []App {
+	return append(All(), NewBFS(), NewSSSP(), NewKCore(), NewPageRankDelta())
+}
+
+// ByName returns the application with the given name.
+func ByName(name string) (App, error) {
+	for _, a := range WithExtensions() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}

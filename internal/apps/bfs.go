@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/graph"
+)
+
+// BFS computes hop distances from a source vertex over the undirected
+// structure. It is not one of the paper's four benchmarks; it demonstrates
+// the claim that the profiling flow accepts any special-purpose application
+// (Section III-B) and exercises frontier-style activation in the engine.
+type BFS struct {
+	// Source is the root vertex (clamped into range at Init time).
+	Source graph.VertexID
+	// MaxIters caps the superstep count.
+	MaxIters int
+}
+
+// NewBFS returns a BFS from vertex 0.
+func NewBFS() *BFS { return &BFS{Source: 0, MaxIters: 1000} }
+
+// Name implements App.
+func (b *BFS) Name() string { return "bfs" }
+
+// Coeffs implements engine.Program: frontier expansion touches each edge at
+// most a few times with integer work.
+func (b *BFS) Coeffs() engine.CostCoeffs {
+	return engine.CostCoeffs{
+		OpsPerGather:    40,
+		BytesPerGather:  240,
+		OpsPerApply:     60,
+		BytesPerApply:   200,
+		OpsPerVertex:    25,
+		BytesPerVertex:  16,
+		SerialFrac:      0.03,
+		StepOverheadOps: 2e3,
+		AccumBytes:      12,
+		ValueBytes:      12,
+	}
+}
+
+// unreached marks vertices not yet visited.
+const unreached = int32(-1)
+
+// Direction implements engine.Program.
+func (b *BFS) Direction() engine.Direction { return engine.GatherBoth }
+
+// ApplyAll implements engine.Program.
+func (b *BFS) ApplyAll() bool { return false }
+
+// MaxSupersteps implements engine.Program.
+func (b *BFS) MaxSupersteps() int { return b.MaxIters }
+
+// Init implements engine.Program.
+func (b *BFS) Init(v graph.VertexID, outDeg, inDeg int32) int32 {
+	if v == b.Source {
+		return 0
+	}
+	return unreached
+}
+
+// Gather implements engine.Program: a reached neighbor offers distance+1;
+// an unreached one offers nothing (encoded as unreached).
+func (b *BFS) Gather(src int32) int32 {
+	if src == unreached {
+		return unreached
+	}
+	return src + 1
+}
+
+// Sum implements engine.Program: keep the smallest real distance.
+func (b *BFS) Sum(x, y int32) int32 {
+	if x == unreached {
+		return y
+	}
+	if y == unreached {
+		return x
+	}
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// Apply implements engine.Program.
+func (b *BFS) Apply(v graph.VertexID, old int32, acc int32, hasAcc bool, rt *engine.Runtime) (int32, bool) {
+	if !hasAcc || acc == unreached {
+		return old, false
+	}
+	if old == unreached || acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// Run implements App. The Output is the []int32 distance vector
+// (-1 for unreachable vertices).
+func (b *BFS) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	res, dists, err := engine.RunSync[int32, int32](b, pl, cl)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = dists
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/graph"
+)
+
+// ConnectedComponents labels every vertex with the smallest vertex ID in its
+// (weakly) connected component by synchronous label propagation, the
+// PowerGraph formulation the paper benchmarks ("counts connected components
+// in a given graph, as well as the number of vertices and edges in each").
+type ConnectedComponents struct {
+	// MaxIters caps propagation; label propagation needs at most the graph
+	// diameter plus one supersteps.
+	MaxIters int
+}
+
+// NewConnectedComponents returns the default configuration.
+func NewConnectedComponents() *ConnectedComponents {
+	return &ConnectedComponents{MaxIters: 1000}
+}
+
+// Name implements App.
+func (cc *ConnectedComponents) Name() string { return "connected_components" }
+
+// Coeffs implements engine.Program. Label propagation is lighter than
+// PageRank per edge (integer min instead of float math) but still walks
+// remote labels through random indices.
+func (cc *ConnectedComponents) Coeffs() engine.CostCoeffs {
+	return engine.CostCoeffs{
+		OpsPerGather:    70,
+		BytesPerGather:  110,
+		OpsPerApply:     80,
+		BytesPerApply:   240,
+		OpsPerVertex:    25,
+		BytesPerVertex:  16,
+		SerialFrac:      0.03,
+		StepOverheadOps: 2e3,
+		AccumBytes:      12,
+		ValueBytes:      12,
+	}
+}
+
+// Direction implements engine.Program: components are over the undirected
+// structure, so labels flow both ways.
+func (cc *ConnectedComponents) Direction() engine.Direction { return engine.GatherBoth }
+
+// ApplyAll implements engine.Program: only signalled vertices recompute.
+func (cc *ConnectedComponents) ApplyAll() bool { return false }
+
+// MaxSupersteps implements engine.Program.
+func (cc *ConnectedComponents) MaxSupersteps() int { return cc.MaxIters }
+
+// Init implements engine.Program: every vertex starts as its own label.
+func (cc *ConnectedComponents) Init(v graph.VertexID, outDeg, inDeg int32) uint32 {
+	return uint32(v)
+}
+
+// Gather implements engine.Program.
+func (cc *ConnectedComponents) Gather(src uint32) uint32 { return src }
+
+// Sum implements engine.Program: keep the smaller label.
+func (cc *ConnectedComponents) Sum(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Apply implements engine.Program.
+func (cc *ConnectedComponents) Apply(v graph.VertexID, old uint32, acc uint32, hasAcc bool, rt *engine.Runtime) (uint32, bool) {
+	if hasAcc && acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// Run implements App. The Output is a Components summary.
+func (cc *ConnectedComponents) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	res, labels, err := engine.RunSync[uint32, uint32](cc, pl, cl)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = SummarizeComponents(labels)
+	return res, nil
+}
+
+// Components summarizes a labelling: the number of components and the size
+// of the largest one.
+type Components struct {
+	Labels  []uint32
+	Count   int
+	Largest int
+}
+
+// SummarizeComponents counts distinct labels and the largest component.
+func SummarizeComponents(labels []uint32) Components {
+	sizes := map[uint32]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	return Components{Labels: labels, Count: len(sizes), Largest: largest}
+}
+
+// RunRebalanced is Run with a dynamic load-balancing policy attached (see
+// engine.Rebalancer and package dynamic).
+func (cc *ConnectedComponents) RunRebalanced(pl *engine.Placement, cl *cluster.Cluster, rb engine.Rebalancer) (*engine.Result, error) {
+	res, labels, err := engine.RunSyncRebalanced[uint32, uint32](cc, pl, cl, rb)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = SummarizeComponents(labels)
+	return res, nil
+}
+
+// RunParallel is Run on the goroutine-parallel engine; label propagation's
+// min-Sum is exactly associative, so results are bit-identical to Run.
+func (cc *ConnectedComponents) RunParallel(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	res, labels, err := engine.RunSyncParallel[uint32, uint32](cc, pl, cl)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = SummarizeComponents(labels)
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"math"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/graph"
+)
+
+// PageRank implements Eq 8 of the paper:
+//
+//	PR(u) = (1-d)/N + d · Σ_{v∈B(u)} PR(v)/L(v)
+//
+// scaled by N as in PowerGraph (initial rank 1, ranks sum to N), iterating
+// until every vertex's rank moves less than Tolerance or MaxIters is hit.
+type PageRank struct {
+	// Damping is the damping factor d (default 0.85).
+	Damping float64
+	// Tolerance stops iteration when no rank changes by more than this.
+	Tolerance float64
+	// MaxIters bounds the superstep count.
+	MaxIters int
+}
+
+// NewPageRank returns PageRank with the PowerGraph defaults.
+func NewPageRank() *PageRank {
+	return &PageRank{Damping: 0.85, Tolerance: 1e-3, MaxIters: 20}
+}
+
+// prState is the per-vertex state: the current rank and the precomputed
+// reciprocal out-degree used by gather.
+type prState struct {
+	rank   float64
+	invOut float64
+}
+
+// Name implements App.
+func (pr *PageRank) Name() string { return "pagerank" }
+
+// Coeffs implements engine.Program. PageRank gathers are memory-bound: each
+// one reads a remote vertex record and read-modify-writes an accumulator
+// through a random index, so bytes dominate ops (the Fig 2 saturation).
+func (pr *PageRank) Coeffs() engine.CostCoeffs {
+	return engine.CostCoeffs{
+		OpsPerGather:    60,
+		BytesPerGather:  340,
+		OpsPerApply:     120,
+		BytesPerApply:   320,
+		OpsPerVertex:    25,
+		BytesPerVertex:  16,
+		SerialFrac:      0.015,
+		StepOverheadOps: 2e3,
+		AccumBytes:      12,
+		ValueBytes:      12,
+	}
+}
+
+// Direction implements engine.Program: rank flows along in-edges.
+func (pr *PageRank) Direction() engine.Direction { return engine.GatherIn }
+
+// ApplyAll implements engine.Program: every vertex recomputes each round.
+func (pr *PageRank) ApplyAll() bool { return true }
+
+// MaxSupersteps implements engine.Program.
+func (pr *PageRank) MaxSupersteps() int { return pr.MaxIters }
+
+// Init implements engine.Program.
+func (pr *PageRank) Init(v graph.VertexID, outDeg, inDeg int32) prState {
+	s := prState{rank: 1}
+	if outDeg > 0 {
+		s.invOut = 1 / float64(outDeg)
+	}
+	return s
+}
+
+// Gather implements engine.Program: contribution PR(v)/L(v).
+func (pr *PageRank) Gather(src prState) float64 { return src.rank * src.invOut }
+
+// Sum implements engine.Program.
+func (pr *PageRank) Sum(a, b float64) float64 { return a + b }
+
+// Apply implements engine.Program.
+func (pr *PageRank) Apply(v graph.VertexID, old prState, acc float64, hasAcc bool, rt *engine.Runtime) (prState, bool) {
+	sum := 0.0
+	if hasAcc {
+		sum = acc
+	}
+	newRank := (1 - pr.Damping) + pr.Damping*sum
+	changed := math.Abs(newRank-old.rank) > pr.Tolerance
+	old.rank = newRank
+	return old, changed
+}
+
+// Run implements App. The Output is the []float64 rank vector.
+func (pr *PageRank) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	res, vals, err := engine.RunSync[prState, float64](pr, pl, cl)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]float64, len(vals))
+	for i, s := range vals {
+		ranks[i] = s.rank
+	}
+	res.Output = ranks
+	return res, nil
+}
+
+// RunRebalanced is Run with a dynamic load-balancing policy attached (see
+// engine.Rebalancer and package dynamic).
+func (pr *PageRank) RunRebalanced(pl *engine.Placement, cl *cluster.Cluster, rb engine.Rebalancer) (*engine.Result, error) {
+	res, vals, err := engine.RunSyncRebalanced[prState, float64](pr, pl, cl, rb)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]float64, len(vals))
+	for i, s := range vals {
+		ranks[i] = s.rank
+	}
+	res.Output = ranks
+	return res, nil
+}
+
+// RunParallel is Run on the goroutine-parallel engine (one worker per
+// simulated machine); accounting is identical, ranks agree up to
+// floating-point re-association.
+func (pr *PageRank) RunParallel(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	res, vals, err := engine.RunSyncParallel[prState, float64](pr, pl, cl)
+	if err != nil {
+		return nil, err
+	}
+	ranks := make([]float64, len(vals))
+	for i, s := range vals {
+		ranks[i] = s.rank
+	}
+	res.Output = ranks
+	return res, nil
+}

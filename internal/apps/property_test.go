@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"proxygraph/internal/engine"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+)
+
+// propGraph builds a power-law graph from fuzz parameters.
+func propGraph(t *testing.T, seed uint64, rawN, rawM uint16) *graph.Graph {
+	t.Helper()
+	n := 16 + int(rawN%400)
+	m := 2*n + int(rawM)%(5*n)
+	g, err := gen.Generate(gen.Spec{
+		Name: "prop", Vertices: int64(n), Edges: int64(m), Kind: gen.KindPowerLaw,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPropertyPageRankInvariants: ranks are finite, at least (1-d), and the
+// total mass never exceeds N (dangling mass can only leak, not appear).
+func TestPropertyPageRankInvariants(t *testing.T) {
+	f := func(seed uint64, rawN, rawM uint16) bool {
+		g := propGraph(t, seed, rawN, rawM)
+		res, err := NewPageRank().Run(engine.SingleMachine(g), singleCluster(t))
+		if err != nil {
+			return false
+		}
+		ranks := res.Output.([]float64)
+		sum := 0.0
+		for _, r := range ranks {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0.15-1e-12 {
+				return false
+			}
+			sum += r
+		}
+		return sum <= float64(g.NumVertices)*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyComponentLabelsClosed: every edge's endpoints share a label
+// and labels are fixed points (label of the label is itself).
+func TestPropertyComponentLabelsClosed(t *testing.T) {
+	f := func(seed uint64, rawN, rawM uint16) bool {
+		g := propGraph(t, seed, rawN, rawM)
+		res, err := NewConnectedComponents().Run(engine.SingleMachine(g), singleCluster(t))
+		if err != nil {
+			return false
+		}
+		labels := res.Output.(Components).Labels
+		for _, e := range g.Edges {
+			if labels[e.Src] != labels[e.Dst] {
+				return false
+			}
+		}
+		for v, l := range labels {
+			if uint32(v) < l || labels[l] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyColoringProper: the coloring is always conflict-free and
+// bounded by maxDegree+1.
+func TestPropertyColoringProper(t *testing.T) {
+	f := func(seed uint64, rawN, rawM uint16, machines uint8) bool {
+		g := propGraph(t, seed, rawN, rawM)
+		m := 1 + int(machines%4)
+		res, err := NewColoring().Run(moduloPlacement(t, g, m), multiCluster(t, m))
+		if err != nil {
+			return false
+		}
+		out := res.Output.(ColoringResult)
+		if ValidateColoring(g, out.Colors) != nil {
+			return false
+		}
+		return out.NumColors <= g.MaxDegree()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTriangleCountPlacementInvariant: the count never depends on
+// the partitioning.
+func TestPropertyTriangleCountPlacementInvariant(t *testing.T) {
+	f := func(seed uint64, rawN, rawM uint16, machines uint8) bool {
+		g := propGraph(t, seed, rawN, rawM)
+		m := 1 + int(machines%5)
+		a, err := NewTriangleCount().Run(engine.SingleMachine(g), singleCluster(t))
+		if err != nil {
+			return false
+		}
+		b, err := NewTriangleCount().Run(moduloPlacement(t, g, m), multiCluster(t, m))
+		if err != nil {
+			return false
+		}
+		return a.Output.(TriangleResult).Total == b.Output.(TriangleResult).Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySSSPTriangleInequality: for every edge (u,v),
+// dist(v) <= dist(u) + w(u,v) at the fixed point.
+func TestPropertySSSPTriangleInequality(t *testing.T) {
+	f := func(seed uint64, rawN, rawM uint16) bool {
+		g := propGraph(t, seed, rawN, rawM)
+		graph.AttachWeights(g, 1, 9, seed)
+		res, err := NewSSSP().Run(engine.SingleMachine(g), singleCluster(t))
+		if err != nil {
+			return false
+		}
+		dist := res.Output.(SSSPResult).Dist
+		for i, e := range g.Edges {
+			w := float64(g.Weight(i))
+			if dist[e.Dst] > dist[e.Src]+w+1e-9 {
+				return false
+			}
+			if dist[e.Src] > dist[e.Dst]+w+1e-9 { // undirected relaxation
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyKCoreDegeneracyBound: every vertex's core number is at most
+// its degree, and the max core is at most the max degree.
+func TestPropertyKCoreDegeneracyBound(t *testing.T) {
+	f := func(seed uint64, rawN, rawM uint16) bool {
+		g := propGraph(t, seed, rawN, rawM)
+		und := g.BuildUndirectedCSR()
+		res, err := NewKCore().Run(engine.SingleMachine(g), singleCluster(t))
+		if err != nil {
+			return false
+		}
+		out := res.Output.(KCoreResult)
+		for v, c := range out.Core {
+			if int(c) > und.Degree(graph.VertexID(v)) {
+				return false
+			}
+		}
+		return out.MaxCore <= g.MaxDegree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Package cliutil holds the small parsers the command-line tools share:
+// cluster specifications, share vectors, and estimator selection.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+)
+
+// ParseCluster turns a comma-separated machine list into a Cluster. Each
+// entry is either a Table I catalog name ("c4.2xlarge") or a custom local
+// Xeon in name:cores:freqGHz form ("xeon:12:2.5").
+func ParseCluster(spec string) (*cluster.Cluster, error) {
+	var machines []cluster.Machine
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m, err := ParseMachine(part)
+		if err != nil {
+			return nil, err
+		}
+		machines = append(machines, m)
+	}
+	return cluster.New(machines...)
+}
+
+// ParseMachine parses one machine entry (see ParseCluster).
+func ParseMachine(entry string) (cluster.Machine, error) {
+	if m, ok := cluster.ByName(entry); ok {
+		return m, nil
+	}
+	fields := strings.Split(entry, ":")
+	if len(fields) != 3 {
+		return cluster.Machine{}, fmt.Errorf("machine %q: not in catalog and not name:cores:freqGHz", entry)
+	}
+	cores, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return cluster.Machine{}, fmt.Errorf("machine %q: bad core count: %v", entry, err)
+	}
+	freq, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return cluster.Machine{}, fmt.Errorf("machine %q: bad frequency: %v", entry, err)
+	}
+	return cluster.LocalXeon(fmt.Sprintf("%s-%dc", fields[0], cores), cores, freq), nil
+}
+
+// ParseShares parses a comma-separated weight list ("1,3.5") into normalized
+// shares; an empty string yields uniform shares over machines.
+func ParseShares(weights string, machines int) ([]float64, error) {
+	if weights == "" {
+		return uniform(machines), nil
+	}
+	var ws []float64
+	for _, f := range strings.Split(weights, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight %q: %v", f, err)
+		}
+		ws = append(ws, v)
+	}
+	return normalize(ws)
+}
+
+func uniform(m int) []float64 {
+	shares := make([]float64, m)
+	for i := range shares {
+		shares[i] = 1 / float64(m)
+	}
+	return shares
+}
+
+func normalize(ws []float64) ([]float64, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("empty weight vector")
+	}
+	sum := 0.0
+	for _, w := range ws {
+		if w <= 0 {
+			return nil, fmt.Errorf("weight %v must be positive", w)
+		}
+		sum += w
+	}
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = w / sum
+	}
+	return out, nil
+}
+
+// ParseEstimator builds the named CCR estimator: "proxy" (profiling at
+// 1/scale), "prior-work" (thread counts) or "default" (uniform).
+func ParseEstimator(name string, scale int, seed uint64) (core.Estimator, error) {
+	switch name {
+	case "proxy":
+		return core.NewProxyProfiler(scale, seed)
+	case "prior-work":
+		return core.NewThreadCount(), nil
+	case "default":
+		return core.Uniform{}, nil
+	default:
+		return nil, fmt.Errorf("unknown estimator %q (want proxy, prior-work or default)", name)
+	}
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's primary contribution: the Computation
+// Capability Ratio (CCR) metric, the synthetic-proxy profiling methodology
+// that measures it, and the estimators it is compared against.
+//
+// For application i and machine j, Eq 1 defines
+//
+//	CCR_{i,j} = max_j(t_{i,j}) / t_{i,j}
+//
+// where t is the application's execution time on machine j in isolation: the
+// slowest machine has ratio 1, a machine twice as fast has ratio 2. The CCRs
+// become edge shares for the heterogeneity-aware partitioners of package
+// partition, so "heterogeneous machines can reach the synchronization
+// barrier at the same time".
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/partition"
+)
+
+// CCR holds one application's capability ratios by machine group (machine
+// type name). The slowest group has ratio 1.
+type CCR struct {
+	// App is the application the ratios were measured for.
+	App string `json:"app"`
+	// Ratios maps machine group name to capability ratio (>= 1 except for
+	// numerical noise; the slowest group is 1).
+	Ratios map[string]float64 `json:"ratios"`
+}
+
+// FromTimes builds a CCR from per-group execution times (Eq 1).
+func FromTimes(app string, times map[string]float64) (CCR, error) {
+	if len(times) == 0 {
+		return CCR{}, fmt.Errorf("core: no execution times for %q", app)
+	}
+	slowest := 0.0
+	for g, t := range times {
+		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return CCR{}, fmt.Errorf("core: invalid time %v for group %q", t, g)
+		}
+		if t > slowest {
+			slowest = t
+		}
+	}
+	c := CCR{App: app, Ratios: make(map[string]float64, len(times))}
+	for g, t := range times {
+		c.Ratios[g] = slowest / t
+	}
+	return c, nil
+}
+
+// Groups returns the group names in sorted order.
+func (c CCR) Groups() []string {
+	gs := make([]string, 0, len(c.Ratios))
+	for g := range c.Ratios {
+		gs = append(gs, g)
+	}
+	sort.Strings(gs)
+	return gs
+}
+
+// SharesFor converts the CCR into a normalized per-machine share vector for
+// the given cluster: each machine's share is proportional to its group's
+// ratio. This is the weight vector the heterogeneity-aware partitioners
+// consume.
+func (c CCR) SharesFor(cl *cluster.Cluster) ([]float64, error) {
+	weights := make([]float64, cl.Size())
+	for i, m := range cl.Machines {
+		r, ok := c.Ratios[m.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: CCR for %q has no ratio for machine group %q", c.App, m.Name)
+		}
+		weights[i] = r
+	}
+	return partition.NormalizeShares(weights)
+}
+
+// Error returns the mean relative error of this CCR against a ground-truth
+// CCR over the groups of truth, the accuracy metric of Section V-A
+// ("we reduce the heterogeneity estimation error from 108% to 8%").
+func (c CCR) Error(truth CCR) (float64, error) {
+	if len(truth.Ratios) == 0 {
+		return 0, fmt.Errorf("core: empty ground truth")
+	}
+	sum, n := 0.0, 0
+	for g, want := range truth.Ratios {
+		got, ok := c.Ratios[g]
+		if !ok {
+			return 0, fmt.Errorf("core: estimate missing group %q", g)
+		}
+		if want == 0 {
+			return 0, fmt.Errorf("core: zero ground-truth ratio for %q", g)
+		}
+		sum += math.Abs(got-want) / want
+		n++
+	}
+	return sum / float64(n), nil
+}
+
+// Pool is the CCR pool of Fig 7a: the offline-profiled CCR of every reusable
+// application, keyed by application name. Pools serialize to JSON so
+// cmd/profiler can persist them ("each application's CCR will be collected
+// into a CCR pool for future use").
+type Pool struct {
+	ccrs map[string]CCR
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{ccrs: map[string]CCR{}} }
+
+// Put stores an application's CCR, replacing any previous entry.
+func (p *Pool) Put(c CCR) { p.ccrs[c.App] = c }
+
+// Get returns the CCR for the application.
+func (p *Pool) Get(app string) (CCR, bool) {
+	c, ok := p.ccrs[app]
+	return c, ok
+}
+
+// Apps returns the pooled application names in sorted order.
+func (p *Pool) Apps() []string {
+	names := make([]string, 0, len(p.ccrs))
+	for n := range p.ccrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of pooled applications.
+func (p *Pool) Len() int { return len(p.ccrs) }
+
+// MarshalJSON implements json.Marshaler.
+func (p *Pool) MarshalJSON() ([]byte, error) {
+	list := make([]CCR, 0, len(p.ccrs))
+	for _, name := range p.Apps() {
+		list = append(list, p.ccrs[name])
+	}
+	return json.Marshal(list)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Pool) UnmarshalJSON(data []byte) error {
+	var list []CCR
+	if err := json.Unmarshal(data, &list); err != nil {
+		return err
+	}
+	p.ccrs = make(map[string]CCR, len(list))
+	for _, c := range list {
+		p.ccrs[c.App] = c
+	}
+	return nil
+}
+
+// logOf and expOf keep the geometric-mean helpers local without pulling math
+// into the estimator file's import block twice.
+func logOf(x float64) float64 { return math.Log(x) }
+func expOf(x float64) float64 { return math.Exp(x) }
+
+// SaveFile writes the pool as indented JSON to path.
+func (p *Pool) SaveFile(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadPoolFile reads a pool written by SaveFile (or cmd/profiler).
+func LoadPoolFile(path string) (*Pool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p := NewPool()
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("core: parsing pool %s: %w", path, err)
+	}
+	return p, nil
+}

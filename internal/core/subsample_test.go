@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"proxygraph/internal/apps"
+	"proxygraph/internal/gen"
+)
+
+func TestSubsampleProfilerWorksButIsWorseThanProxies(t *testing.T) {
+	// Quantify the paper's motivating claim: profiling with a subsample of a
+	// natural graph estimates CCRs worse than synthetic proxies do.
+	cl := mustCluster(t, "c4.xlarge", "c4.2xlarge", "c4.8xlarge")
+	real, err := gen.Generate(gen.RealGraphs()[2].Scale(512), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NewProxyProfiler(512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := NewSubsampleProfiler(real, 0.02, 7)
+
+	var proxyTotal, subTotal float64
+	for _, app := range apps.All() {
+		truth, err := MeasureCCR(cl, app, real)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxyCCR, err := pp.Estimate(cl, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subCCR, err := sub.Estimate(cl, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxyErr, err := proxyCCR.Error(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subErr, err := subCCR.Error(truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxyTotal += proxyErr
+		subTotal += subErr
+	}
+	// The sparse subsample must lose on aggregate (the paper's Section I
+	// argument; the full sweep lives in the abl-subsample experiment).
+	if subTotal <= proxyTotal {
+		t.Errorf("subsample mean error %.4f not worse than proxies %.4f", subTotal/4, proxyTotal/4)
+	}
+}
+
+func TestSubsampleProfilerValidation(t *testing.T) {
+	cl := mustCluster(t, "c4.xlarge")
+	empty := &SubsampleProfiler{}
+	if _, err := empty.Estimate(cl, apps.NewPageRank()); err == nil {
+		t.Error("missing reference should error")
+	}
+	g, _ := gen.Generate(gen.Spec{Name: "s", Vertices: 100, Edges: 500}, 1)
+	bad := NewSubsampleProfiler(g, 2.0, 1)
+	if _, err := bad.Estimate(cl, apps.NewPageRank()); err == nil {
+		t.Error("invalid fraction should error")
+	}
+}
+
+func TestProxyCoverage(t *testing.T) {
+	pp, err := NewProxyProfiler(2048, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := pp.CoveredAlphaRange()
+	if lo != 1.95 || hi != 2.3 {
+		t.Fatalf("covered range [%v, %v], want [1.95, 2.3]", lo, hi)
+	}
+	for _, alpha := range []float64{1.95, 2.1, 2.3, 1.9, 2.35} {
+		if !pp.Covers(alpha) {
+			t.Errorf("alpha %v should be covered", alpha)
+		}
+	}
+	for _, alpha := range []float64{1.5, 3.0} {
+		if pp.Covers(alpha) {
+			t.Errorf("alpha %v should not be covered", alpha)
+		}
+	}
+}
+
+func TestClosestProxy(t *testing.T) {
+	pp, err := NewProxyProfiler(2048, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{
+		1.9:  1.95,
+		2.05: 2.1,
+		2.5:  2.3,
+	}
+	for alpha, want := range cases {
+		p, err := pp.ClosestProxy(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Alpha != want {
+			t.Errorf("ClosestProxy(%v).Alpha = %v, want %v", alpha, p.Alpha, want)
+		}
+	}
+	empty := &ProxyProfiler{}
+	if _, err := empty.ClosestProxy(2); err == nil {
+		t.Error("empty profiler should error")
+	}
+}
+
+func TestEnsureCoverageExtendsProxySet(t *testing.T) {
+	pp, err := NewProxyProfiler(2048, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Covered alpha: no new proxy.
+	added, err := pp.EnsureCoverage(2.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added || len(pp.Proxies) != 3 {
+		t.Error("covered alpha should not grow the set")
+	}
+	// Out-of-range alpha: one new proxy at that alpha.
+	added, err = pp.EnsureCoverage(2.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added || len(pp.Proxies) != 4 {
+		t.Fatalf("expected a 4th proxy, have %d", len(pp.Proxies))
+	}
+	if pp.Proxies[3].Alpha != 2.8 {
+		t.Errorf("new proxy alpha = %v", pp.Proxies[3].Alpha)
+	}
+	if !pp.Covers(2.8) {
+		t.Error("2.8 should now be covered")
+	}
+	// Invalid alphas error.
+	if _, err := pp.EnsureCoverage(0.5, 5); err == nil {
+		t.Error("alpha <= 1 should error")
+	}
+}
+
+func TestEstimateForGraphPicksNearbyProxy(t *testing.T) {
+	cl := mustCluster(t, "c4.xlarge", "c4.8xlarge")
+	pp, err := NewProxyProfiler(2048, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dense graph (alpha ~1.9): estimation must work and yield a sensible
+	// ratio ordering.
+	g, err := gen.Generate(gen.Spec{Name: "near", Vertices: 20000, Edges: 260000, Kind: gen.KindPowerLaw}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccr, err := pp.EstimateForGraph(cl, apps.NewPageRank(), g, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccr.Ratios["c4.8xlarge"] <= 1 {
+		t.Errorf("8xlarge ratio %v should exceed 1", ccr.Ratios["c4.8xlarge"])
+	}
+	// A graph whose alpha is outside the covered band triggers extension.
+	before := len(pp.Proxies)
+	sparse, err := gen.Generate(gen.Spec{Name: "sparse", Vertices: 20000, Edges: 24000, Kind: gen.KindPowerLaw}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pp.EstimateForGraph(cl, apps.NewPageRank(), sparse, 17); err != nil {
+		t.Fatal(err)
+	}
+	if len(pp.Proxies) <= before {
+		t.Error("sparse graph should have extended the proxy set")
+	}
+}

@@ -1,0 +1,104 @@
+// Package dynamic implements Mizan-style dynamic load balancing (Khayyat et
+// al., EuroSys 2013 — reference [13] of the paper): instead of partitioning
+// heterogeneity-aware up front, the engine monitors per-superstep runtimes
+// and migrates edges from the straggler to underloaded machines between
+// barriers. The paper positions its static proxy-guided ingress against this
+// approach — dynamic balancing "avoids the negative impact of insufficient
+// graph/data partitioning information in the initial stage" but pays
+// migration traffic and converges over several supersteps; the DynamicStudy
+// experiment quantifies the comparison.
+package dynamic
+
+import (
+	"proxygraph/internal/engine"
+	"proxygraph/internal/rng"
+)
+
+// Migrator is an engine.Rebalancer that moves a fraction of the straggler's
+// edges to the fastest machine whenever the imbalance exceeds the trigger.
+type Migrator struct {
+	// Trigger is the straggler/fastest time ratio that provokes a migration
+	// (default 1.15).
+	Trigger float64
+	// Fraction of the straggler's excess edges moved per migration
+	// (default 0.5).
+	Fraction float64
+	// MaxMigrations caps the total number of migrations (default 16).
+	MaxMigrations int
+	// Seed drives the edge selection.
+	Seed uint64
+
+	// Migrations counts the migrations performed so far.
+	Migrations int
+	// EdgesMoved accumulates the migrated edge count.
+	EdgesMoved int64
+}
+
+// NewMigrator returns a migrator with the defaults above.
+func NewMigrator(seed uint64) *Migrator {
+	return &Migrator{Trigger: 1.15, Fraction: 0.5, MaxMigrations: 16, Seed: seed}
+}
+
+// Decide implements engine.Rebalancer.
+func (m *Migrator) Decide(step int, times []float64, pl *engine.Placement) ([]int32, int64, bool) {
+	if m.MaxMigrations > 0 && m.Migrations >= m.MaxMigrations {
+		return nil, 0, false
+	}
+	slowest, fastest := 0, 0
+	for p, t := range times {
+		if t > times[slowest] {
+			slowest = p
+		}
+		if t < times[fastest] {
+			fastest = p
+		}
+	}
+	if slowest == fastest || times[fastest] <= 0 {
+		return nil, 0, false
+	}
+	if times[slowest]/times[fastest] < m.Trigger {
+		return nil, 0, false
+	}
+
+	// Move enough of the straggler's edges to close (Fraction of) the time
+	// gap, assuming the straggler's time is proportional to its edge count.
+	local := pl.LocalEdges[slowest]
+	if len(local) < 2 {
+		return nil, 0, false
+	}
+	gap := (times[slowest] - times[fastest]) / (times[slowest] + times[fastest])
+	move := int(m.Fraction * gap * float64(len(local)))
+	if move < 1 {
+		return nil, 0, false
+	}
+	if move >= len(local) {
+		move = len(local) - 1
+	}
+
+	owner := make([]int32, len(pl.EdgeOwner))
+	copy(owner, pl.EdgeOwner)
+	src := rng.New(m.Seed + uint64(step))
+	moved := int64(0)
+	// Sample without replacement by walking a random starting offset with a
+	// coprime stride, deterministic and allocation-free.
+	stride := 1 + int(src.Uint64n(uint64(len(local)-1)))
+	for gcd(stride, len(local)) != 1 {
+		stride++
+	}
+	idx := int(src.Uint64n(uint64(len(local))))
+	for i := 0; i < move; i++ {
+		owner[local[idx]] = int32(fastest)
+		moved++
+		idx = (idx + stride) % len(local)
+	}
+	m.Migrations++
+	m.EdgesMoved += moved
+	return owner, moved, true
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,182 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/partition"
+)
+
+func caseTwoCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(
+		cluster.LocalXeon("xeon-4c", 4, 2.5),
+		cluster.LocalXeon("xeon-12c", 12, 2.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func testGraph(t *testing.T, seed uint64, n, m int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Generate(gen.Spec{
+		Name: "dyn-test", Vertices: int64(n), Edges: int64(m), Kind: gen.KindPowerLaw,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func uniformPlacement(t *testing.T, g *graph.Graph, m int) *engine.Placement {
+	t.Helper()
+	pl, err := partition.Apply(partition.NewRandomHash(), g, partition.UniformShares(m), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestMigratorImprovesUniformPlacement(t *testing.T) {
+	cl := caseTwoCluster(t)
+	g := testGraph(t, 1, 20000, 240000)
+	pr := apps.NewPageRank()
+	pr.Tolerance = 0
+	pr.MaxIters = 12
+
+	static, err := pr.Run(uniformPlacement(t, g, 2), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig := NewMigrator(7)
+	dynamic, err := pr.RunRebalanced(uniformPlacement(t, g, 2), cl, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.Migrations == 0 {
+		t.Fatal("migrator never fired on an imbalanced heterogeneous run")
+	}
+	if dynamic.SimSeconds >= static.SimSeconds {
+		t.Errorf("dynamic balancing (%.5fs) should beat the static uniform run (%.5fs)",
+			dynamic.SimSeconds, static.SimSeconds)
+	}
+	// Results stay exact.
+	rs := static.Output.([]float64)
+	rd := dynamic.Output.([]float64)
+	for v := range rs {
+		if math.Abs(rs[v]-rd[v]) > 1e-9 {
+			t.Fatalf("migration changed ranks at vertex %d", v)
+		}
+	}
+}
+
+func TestMigratorQuietOnBalancedRun(t *testing.T) {
+	// Two identical machines with a uniform partition: no trigger.
+	m, _ := cluster.ByName("c4.2xlarge")
+	cl, err := cluster.New(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t, 2, 5000, 60000)
+	mig := NewMigrator(3)
+	if _, err := apps.NewPageRank().RunRebalanced(uniformPlacement(t, g, 2), cl, mig); err != nil {
+		t.Fatal(err)
+	}
+	if mig.Migrations > 1 {
+		t.Errorf("migrator fired %d times on a balanced run", mig.Migrations)
+	}
+}
+
+func TestMigratorRespectsMaxMigrations(t *testing.T) {
+	cl := caseTwoCluster(t)
+	g := testGraph(t, 3, 10000, 120000)
+	mig := NewMigrator(5)
+	mig.MaxMigrations = 2
+	pr := apps.NewPageRank()
+	pr.Tolerance = 0
+	pr.MaxIters = 15
+	if _, err := pr.RunRebalanced(uniformPlacement(t, g, 2), cl, mig); err != nil {
+		t.Fatal(err)
+	}
+	if mig.Migrations > 2 {
+		t.Errorf("migrations = %d, cap was 2", mig.Migrations)
+	}
+}
+
+func TestMigrationChargedAsStall(t *testing.T) {
+	cl := caseTwoCluster(t)
+	g := testGraph(t, 4, 10000, 120000)
+	pr := apps.NewPageRank()
+	pr.Tolerance = 0
+	pr.MaxIters = 8
+	res, err := pr.RunRebalanced(uniformPlacement(t, g, 2), cl, NewMigrator(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, st := range res.Trace {
+		if st.Kind == "migrate" {
+			found = true
+			if st.Barrier <= 0 {
+				t.Error("migration stall carries no time")
+			}
+		}
+	}
+	if !found {
+		t.Error("no migration stall recorded in the trace")
+	}
+}
+
+func TestDecideEdgeCases(t *testing.T) {
+	g := testGraph(t, 5, 100, 600)
+	pl, err := engine.NewPlacement(g, make([]int32, len(g.Edges)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMigrator(1)
+	// Zero fastest time: refuse.
+	if _, _, ok := m.Decide(0, []float64{1, 0}, pl); ok {
+		t.Error("zero-time machine should not trigger migration")
+	}
+	// Below trigger: refuse.
+	if _, _, ok := m.Decide(0, []float64{1.0, 0.95}, pl); ok {
+		t.Error("balanced times should not trigger migration")
+	}
+	// Valid trigger: machine 0 holds everything and is slow.
+	owner, moved, ok := m.Decide(0, []float64{2, 1}, pl)
+	if !ok || moved == 0 {
+		t.Fatal("expected a migration")
+	}
+	movedCount := int64(0)
+	for _, o := range owner {
+		if o == 1 {
+			movedCount++
+		}
+	}
+	if movedCount != moved {
+		t.Errorf("owner vector moved %d edges, reported %d", movedCount, moved)
+	}
+}
+
+func TestConnectedComponentsRebalanced(t *testing.T) {
+	cl := caseTwoCluster(t)
+	g := testGraph(t, 6, 8000, 60000)
+	res, err := apps.NewConnectedComponents().RunRebalanced(uniformPlacement(t, g, 2), cl, NewMigrator(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := apps.NewConnectedComponents().Run(uniformPlacement(t, g, 2), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.(apps.Components).Count != plain.Output.(apps.Components).Count {
+		t.Error("rebalancing changed the component count")
+	}
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"proxygraph/internal/cluster"
+)
+
+// CostCoeffs are an application's simulation cost constants: how much CPU and
+// memory work each instrumented event charges to its machine, and how many
+// wire bytes each exchanged record costs. They play the role the real
+// hardware played in the paper — the coefficients are calibrated so the
+// per-application scaling behaviours of Fig 2 hold (see DESIGN.md).
+type CostCoeffs struct {
+	// OpsPerGather / BytesPerGather charge one edge gather.
+	OpsPerGather, BytesPerGather float64
+	// OpsPerApply / BytesPerApply charge one vertex apply.
+	OpsPerApply, BytesPerApply float64
+	// OpsPerVertex / BytesPerVertex charge per-vertex scheduling bookkeeping
+	// every superstep (PowerGraph's engine walks its vertex sets each
+	// barrier regardless of activity). This is why profiling inputs must be
+	// adequately dense: an edge-subsampled graph keeps its full vertex set,
+	// so bookkeeping swamps the edge work and distorts the measured CCR.
+	OpsPerVertex, BytesPerVertex float64
+	// SerialFrac is the Amdahl serial fraction of the application's
+	// per-superstep work (framework dispatch, reductions, skew).
+	SerialFrac float64
+	// StepOverheadOps is fully-serial per-superstep framework overhead.
+	StepOverheadOps float64
+	// AccumBytes is the wire size of one gather partial sent to a master.
+	AccumBytes float64
+	// ValueBytes is the wire size of one mirror value update.
+	ValueBytes float64
+}
+
+// StepCounters collects one machine's instrumented events during one
+// superstep or async phase.
+type StepCounters struct {
+	// Gathers counts edge gathers (or probe units for Triangle Count).
+	Gathers float64
+	// Applies counts vertex applies.
+	Applies float64
+	// Vertices counts the vertices this machine bookkeeps in the step.
+	Vertices float64
+	// MaxUnit is the largest indivisible chunk of gather work in the step —
+	// the gathers funnelling into one hub vertex, the merge of one edge's
+	// neighbor lists, one vertex's neighborhood scan. Such a chunk runs on
+	// one core, so degree skew caps multicore scaling; the effect grows with
+	// thread count, which is why skewed natural graphs and hash-random
+	// proxies scale machines slightly differently (the paper's Fig 8a
+	// Triangle Count mismatch at 8xlarge).
+	MaxUnit float64
+	// PartialsOut counts gather partials sent to remote masters.
+	PartialsOut float64
+	// UpdatesOut counts mirror value updates sent from local masters.
+	UpdatesOut float64
+}
+
+// skewSerialWeight converts the dominant-unit share of a step's gathers into
+// additional Amdahl serial fraction.
+const skewSerialWeight = 0.5
+
+// work converts counters into machine-model work units.
+func (sc StepCounters) work(c CostCoeffs) cluster.Work {
+	serial := c.SerialFrac
+	if sc.Gathers > 0 && sc.MaxUnit > 0 {
+		serial += skewSerialWeight * sc.MaxUnit / sc.Gathers
+	}
+	w := cluster.Work{
+		CPUOps:     sc.Gathers*c.OpsPerGather + sc.Applies*c.OpsPerApply + sc.Vertices*c.OpsPerVertex,
+		MemBytes:   sc.Gathers*c.BytesPerGather + sc.Applies*c.BytesPerApply + sc.Vertices*c.BytesPerVertex,
+		SerialFrac: serial,
+	}
+	w.Add(cluster.Work{CPUOps: c.StepOverheadOps, SerialFrac: 1})
+	return w
+}
+
+// commBytes returns the wire bytes this machine sends in the step.
+func (sc StepCounters) commBytes(c CostCoeffs) float64 {
+	return sc.PartialsOut*c.AccumBytes + sc.UpdatesOut*c.ValueBytes
+}
+
+// Result reports one application execution on a cluster.
+type Result struct {
+	// App and Graph label the run.
+	App, Graph string
+	// SimSeconds is the simulated wall-clock makespan.
+	SimSeconds float64
+	// BusySeconds[p] is machine p's compute-busy time.
+	BusySeconds []float64
+	// CommBytes[p] is the bytes machine p sent.
+	CommBytes []float64
+	// Supersteps counts synchronous barriers (0 for pure async runs).
+	Supersteps int
+	// EnergyJoules is the total cluster energy over the makespan.
+	EnergyJoules float64
+	// Trace records per-phase per-machine timings for straggler analysis
+	// (see TraceGantt and StragglerShare).
+	Trace []StepTiming
+	// Output carries the application result (ranks, labels, counts...).
+	Output any
+}
+
+// Accountant turns per-machine step counters into simulated time and energy.
+// Synchronous steps impose a barrier (makespan advances by the slowest
+// machine); asynchronous phases accumulate per-machine busy time and fold
+// into the makespan as max at the next barrier or at Finish, modelling
+// engines that let machines proceed independently (the paper's Coloring runs
+// asynchronously).
+type Accountant struct {
+	cl     *cluster.Cluster
+	coeffs CostCoeffs
+
+	simTime    float64
+	busy       []float64
+	comm       []float64
+	steps      int
+	asyncBusy  []float64 // pending async time per machine, not yet folded
+	asyncDirty bool
+	trace      []StepTiming
+}
+
+// NewAccountant creates an accountant for a run over cl.
+func NewAccountant(cl *cluster.Cluster, coeffs CostCoeffs) *Accountant {
+	return &Accountant{
+		cl:        cl,
+		coeffs:    coeffs,
+		busy:      make([]float64, cl.Size()),
+		comm:      make([]float64, cl.Size()),
+		asyncBusy: make([]float64, cl.Size()),
+	}
+}
+
+// Superstep charges one synchronous step: every machine computes and
+// communicates, then all meet at the barrier. Communication overlaps
+// computation (PowerGraph pipelines sends during the gather/scatter sweeps),
+// so a machine's step time is the larger of the two, not their sum.
+func (a *Accountant) Superstep(counters []StepCounters) {
+	a.foldAsync()
+	a.steps++
+	worst := 0.0
+	perMachine := make([]float64, len(counters))
+	for p, sc := range counters {
+		m := a.cl.Machines[p]
+		tCompute := m.ComputeTime(sc.work(a.coeffs))
+		bytes := sc.commBytes(a.coeffs)
+		tComm := a.cl.Net.TransferTime(bytes)
+		a.busy[p] += tCompute
+		a.comm[p] += bytes
+		t := math.Max(tCompute, tComm)
+		perMachine[p] = t
+		if t > worst {
+			worst = t
+		}
+	}
+	a.simTime += worst
+	a.trace = append(a.trace, StepTiming{Kind: "sync", PerMachine: perMachine, Barrier: worst})
+}
+
+// Async charges one asynchronous phase: machines work independently with no
+// barrier; their busy times accumulate until the next fold.
+func (a *Accountant) Async(counters []StepCounters) {
+	perMachine := make([]float64, len(counters))
+	for p, sc := range counters {
+		m := a.cl.Machines[p]
+		t := math.Max(m.ComputeTime(sc.work(a.coeffs)), a.cl.Net.TransferTime(sc.commBytes(a.coeffs)))
+		a.asyncBusy[p] += t
+		a.busy[p] += m.ComputeTime(sc.work(a.coeffs))
+		a.comm[p] += sc.commBytes(a.coeffs)
+		a.asyncDirty = true
+		perMachine[p] = t
+	}
+	a.trace = append(a.trace, StepTiming{Kind: "async", PerMachine: perMachine})
+}
+
+// LastStep returns the most recently recorded phase timing (zero value when
+// nothing has been charged yet).
+func (a *Accountant) LastStep() StepTiming {
+	if len(a.trace) == 0 {
+		return StepTiming{}
+	}
+	return a.trace[len(a.trace)-1]
+}
+
+// Stall charges a full-cluster pause of the given duration (e.g. a dynamic
+// rebalancing migration): the makespan advances with no machine busy.
+func (a *Accountant) Stall(seconds float64, kind string) {
+	if seconds <= 0 {
+		return
+	}
+	a.foldAsync()
+	per := make([]float64, len(a.busy))
+	for i := range per {
+		per[i] = seconds
+	}
+	a.simTime += seconds
+	a.trace = append(a.trace, StepTiming{Kind: kind, PerMachine: per, Barrier: seconds})
+}
+
+func (a *Accountant) foldAsync() {
+	if !a.asyncDirty {
+		return
+	}
+	worst := 0.0
+	for p, t := range a.asyncBusy {
+		if t > worst {
+			worst = t
+		}
+		a.asyncBusy[p] = 0
+	}
+	a.simTime += worst
+	a.asyncDirty = false
+}
+
+// Finish folds pending async time and produces the Result. Energy integrates
+// each machine's busy power over its busy time and idle power over the
+// remainder of the makespan (the straggler-wait energy the paper's load
+// balancing recovers).
+func (a *Accountant) Finish(app, graphName string, output any) *Result {
+	a.foldAsync()
+	res := &Result{
+		App:         app,
+		Graph:       graphName,
+		SimSeconds:  a.simTime,
+		BusySeconds: a.busy,
+		CommBytes:   a.comm,
+		Supersteps:  a.steps,
+		Trace:       a.trace,
+		Output:      output,
+	}
+	for p, m := range a.cl.Machines {
+		res.EnergyJoules += m.Energy(a.busy[p], a.simTime)
+	}
+	return res
+}
+
+// Validate checks that a counters slice matches the cluster size.
+func (a *Accountant) Validate(counters []StepCounters) error {
+	if len(counters) != a.cl.Size() {
+		return fmt.Errorf("engine: %d counter slots for %d machines", len(counters), a.cl.Size())
+	}
+	return nil
+}

@@ -1,0 +1,496 @@
+package engine
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/rng"
+)
+
+func testGraph(seed uint64, n, m int) *graph.Graph {
+	src := rng.New(seed)
+	g := &graph.Graph{Name: "t", NumVertices: n}
+	for len(g.Edges) < m {
+		u := graph.VertexID(src.Intn(n))
+		v := graph.VertexID(src.Intn(n))
+		if u != v {
+			g.Edges = append(g.Edges, graph.Edge{Src: u, Dst: v})
+		}
+	}
+	return g
+}
+
+func moduloOwner(g *graph.Graph, m int) []int32 {
+	owner := make([]int32, len(g.Edges))
+	for i := range owner {
+		owner[i] = int32(i % m)
+	}
+	return owner
+}
+
+func testCluster(t *testing.T, names ...string) *cluster.Cluster {
+	t.Helper()
+	machines := make([]cluster.Machine, len(names))
+	for i, n := range names {
+		m, ok := cluster.ByName(n)
+		if !ok {
+			t.Fatalf("unknown machine %q", n)
+		}
+		machines[i] = m
+	}
+	cl, err := cluster.New(machines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestNewPlacementValidation(t *testing.T) {
+	g := testGraph(1, 10, 30)
+	if _, err := NewPlacement(g, moduloOwner(g, 2), 0); err == nil {
+		t.Error("0 machines should error")
+	}
+	if _, err := NewPlacement(g, moduloOwner(g, 2), MaxMachines+1); err == nil {
+		t.Error("too many machines should error")
+	}
+	if _, err := NewPlacement(g, make([]int32, 3), 2); err == nil {
+		t.Error("owner length mismatch should error")
+	}
+	bad := moduloOwner(g, 2)
+	bad[0] = 7
+	if _, err := NewPlacement(g, bad, 2); err == nil {
+		t.Error("out-of-range owner should error")
+	}
+}
+
+func TestPlacementInvariants(t *testing.T) {
+	g := testGraph(2, 100, 1000)
+	const m = 4
+	pl, err := NewPlacement(g, moduloOwner(g, m), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every edge appears in exactly one machine's local list.
+	seen := make([]bool, len(g.Edges))
+	for p := 0; p < m; p++ {
+		for _, ei := range pl.LocalEdges[p] {
+			if seen[ei] {
+				t.Fatalf("edge %d assigned twice", ei)
+			}
+			seen[ei] = true
+			if pl.EdgeOwner[ei] != int32(p) {
+				t.Fatalf("edge %d in machine %d's list but owned by %d", ei, p, pl.EdgeOwner[ei])
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("edge %d unassigned", i)
+		}
+	}
+	// Every edge endpoint has a replica on the owning machine; masters are
+	// replicas (or hashed for isolated vertices).
+	for i, e := range g.Edges {
+		p := uint(pl.EdgeOwner[i])
+		if pl.ReplicaMask[e.Src]&(1<<p) == 0 || pl.ReplicaMask[e.Dst]&(1<<p) == 0 {
+			t.Fatalf("edge %d endpoints lack replica on owner", i)
+		}
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		mask := pl.ReplicaMask[v]
+		master := pl.Master[v]
+		if mask != 0 && mask&(1<<uint(master)) == 0 {
+			t.Fatalf("vertex %d master %d not among replicas %b", v, master, mask)
+		}
+	}
+	// Master lists partition the vertex set.
+	total := 0
+	for p := 0; p < m; p++ {
+		for _, v := range pl.MasterVerts[p] {
+			if pl.Master[v] != int32(p) {
+				t.Fatalf("vertex %d in machine %d master list but Master=%d", v, p, pl.Master[v])
+			}
+		}
+		total += len(pl.MasterVerts[p])
+	}
+	if total != g.NumVertices {
+		t.Fatalf("master lists cover %d of %d vertices", total, g.NumVertices)
+	}
+}
+
+func TestReplicationFactorBounds(t *testing.T) {
+	g := testGraph(3, 50, 500)
+	const m = 4
+	pl, _ := NewPlacement(g, moduloOwner(g, m), m)
+	rf := pl.ReplicationFactor()
+	if rf < 1 || rf > float64(m) {
+		t.Errorf("replication factor %v outside [1, %d]", rf, m)
+	}
+	// Single machine: replication factor exactly 1.
+	single := SingleMachine(g)
+	if got := single.ReplicationFactor(); got != 1 {
+		t.Errorf("single-machine replication factor = %v", got)
+	}
+}
+
+func TestEdgeCountsAndImbalance(t *testing.T) {
+	g := testGraph(4, 50, 400)
+	pl, _ := NewPlacement(g, moduloOwner(g, 4), 4)
+	counts := pl.EdgeCounts()
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != int64(len(g.Edges)) {
+		t.Errorf("edge counts sum %d != %d", sum, len(g.Edges))
+	}
+	// Modulo assignment is perfectly uniform.
+	imb := pl.Imbalance([]float64{0.25, 0.25, 0.25, 0.25})
+	if imb < 1 || imb > 1.01 {
+		t.Errorf("uniform imbalance = %v, want ~1", imb)
+	}
+	// Against a skewed target, a uniform partition is badly imbalanced.
+	skewed := pl.Imbalance([]float64{0.7, 0.1, 0.1, 0.1})
+	if skewed < 2 {
+		t.Errorf("skewed-target imbalance = %v, want >> 1", skewed)
+	}
+}
+
+func TestNthSetBit(t *testing.T) {
+	mask := uint64(0b101101)
+	want := []int{0, 2, 3, 5}
+	for k, w := range want {
+		if got := nthSetBit(mask, k); got != w {
+			t.Errorf("nthSetBit(%b, %d) = %d, want %d", mask, k, got, w)
+		}
+	}
+}
+
+func TestAccountantSuperstepBarrier(t *testing.T) {
+	cl := testCluster(t, "c4.xlarge", "c4.8xlarge")
+	coeffs := CostCoeffs{OpsPerGather: 10, BytesPerGather: 10, SerialFrac: 0}
+	a := NewAccountant(cl, coeffs)
+	// Equal counters: the slow machine sets the barrier.
+	counters := []StepCounters{{Gathers: 1e6}, {Gathers: 1e6}}
+	a.Superstep(counters)
+	res := a.Finish("x", "g", nil)
+	slow := cl.Machines[0].ComputeTime(counters[0].work(coeffs))
+	fast := cl.Machines[1].ComputeTime(counters[1].work(coeffs))
+	if fast >= slow {
+		t.Fatal("test premise broken: 8xlarge should be faster")
+	}
+	if math.Abs(res.SimSeconds-slow) > 1e-12 {
+		t.Errorf("makespan %v, want slow machine's %v", res.SimSeconds, slow)
+	}
+	if res.BusySeconds[1] >= res.BusySeconds[0] {
+		t.Error("fast machine should have less busy time")
+	}
+	if res.Supersteps != 1 {
+		t.Errorf("supersteps = %d", res.Supersteps)
+	}
+}
+
+func TestAccountantAsyncNoBarrier(t *testing.T) {
+	cl := testCluster(t, "c4.xlarge", "c4.xlarge")
+	coeffs := CostCoeffs{OpsPerGather: 10, BytesPerGather: 10}
+	// Two async rounds then finish: makespan = max over machines of total
+	// busy, NOT the sum of per-round maxima. With identical machines and
+	// anti-correlated loads the async engine must win.
+	a := NewAccountant(cl, coeffs)
+	r1 := []StepCounters{{Gathers: 1e6}, {Gathers: 4e6}}
+	r2 := []StepCounters{{Gathers: 4e6}, {Gathers: 1e6}}
+	a.Async(r1)
+	a.Async(r2)
+	res := a.Finish("x", "g", nil)
+
+	b := NewAccountant(cl, coeffs)
+	b.Superstep(r1)
+	b.Superstep(r2)
+	sres := b.Finish("x", "g", nil)
+	if res.SimSeconds >= sres.SimSeconds {
+		t.Errorf("async makespan %v should beat barriered %v on anti-correlated load", res.SimSeconds, sres.SimSeconds)
+	}
+}
+
+func TestAccountantEnergyIncludesIdleWait(t *testing.T) {
+	cl := testCluster(t, "c4.xlarge", "c4.8xlarge")
+	coeffs := CostCoeffs{OpsPerGather: 10, BytesPerGather: 40}
+	// Imbalanced load: the idle tail of the fast machine burns energy.
+	a := NewAccountant(cl, coeffs)
+	a.Superstep([]StepCounters{{Gathers: 5e6}, {Gathers: 1e5}})
+	imbalanced := a.Finish("x", "g", nil)
+
+	b := NewAccountant(cl, coeffs)
+	b.Superstep([]StepCounters{{Gathers: 1e6}, {Gathers: 4.1e6}})
+	balanced := b.Finish("x", "g", nil)
+	if balanced.SimSeconds >= imbalanced.SimSeconds {
+		t.Fatalf("balanced run should be faster: %v vs %v", balanced.SimSeconds, imbalanced.SimSeconds)
+	}
+	if balanced.EnergyJoules >= imbalanced.EnergyJoules {
+		t.Errorf("balanced run should save energy: %v vs %v", balanced.EnergyJoules, imbalanced.EnergyJoules)
+	}
+}
+
+func TestAccountantCommCharged(t *testing.T) {
+	cl := testCluster(t, "c4.xlarge", "c4.xlarge")
+	coeffs := CostCoeffs{OpsPerGather: 1, AccumBytes: 100, ValueBytes: 50}
+	a := NewAccountant(cl, coeffs)
+	a.Superstep([]StepCounters{{Gathers: 10, PartialsOut: 3, UpdatesOut: 2}, {}})
+	res := a.Finish("x", "g", nil)
+	if res.CommBytes[0] != 3*100+2*50 {
+		t.Errorf("comm bytes = %v, want 400", res.CommBytes[0])
+	}
+	if res.CommBytes[1] != 0 {
+		t.Errorf("idle machine comm = %v", res.CommBytes[1])
+	}
+}
+
+func TestAccountantValidate(t *testing.T) {
+	cl := testCluster(t, "c4.xlarge")
+	a := NewAccountant(cl, CostCoeffs{})
+	if err := a.Validate(make([]StepCounters, 2)); err == nil {
+		t.Error("mismatched counters should error")
+	}
+	if err := a.Validate(make([]StepCounters, 1)); err != nil {
+		t.Error(err)
+	}
+}
+
+// sumProgram is a minimal GAS program: each vertex counts its in-neighbors.
+type sumProgram struct{}
+
+func (sumProgram) Name() string { return "sum" }
+func (sumProgram) Coeffs() CostCoeffs {
+	return CostCoeffs{OpsPerGather: 1, BytesPerGather: 1, AccumBytes: 12, ValueBytes: 12}
+}
+func (sumProgram) Direction() Direction                             { return GatherIn }
+func (sumProgram) ApplyAll() bool                                   { return true }
+func (sumProgram) MaxSupersteps() int                               { return 1 }
+func (sumProgram) Init(v graph.VertexID, outDeg, inDeg int32) int64 { return 0 }
+func (sumProgram) Gather(src int64) int64                           { return 1 }
+func (sumProgram) Sum(a, b int64) int64                             { return a + b }
+func (sumProgram) Apply(v graph.VertexID, old, acc int64, has bool, rt *Runtime) (int64, bool) {
+	if !has {
+		return 0, false
+	}
+	return acc, acc != old
+}
+
+func TestRunSyncComputesExactResultAcrossPlacements(t *testing.T) {
+	g := testGraph(5, 60, 600)
+	want := g.InDegrees()
+
+	for _, m := range []int{1, 2, 4} {
+		names := make([]string, m)
+		for i := range names {
+			names[i] = "c4.xlarge"
+		}
+		cl := testCluster(t, names...)
+		pl, err := NewPlacement(g, moduloOwner(g, m), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, vals, err := RunSync[int64, int64](sumProgram{}, pl, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range vals {
+			if vals[v] != int64(want[v]) {
+				t.Fatalf("m=%d: vertex %d sum %d, want %d", m, v, vals[v], want[v])
+			}
+		}
+		if res.SimSeconds <= 0 {
+			t.Errorf("m=%d: non-positive sim time", m)
+		}
+	}
+}
+
+func TestRunSyncClusterSizeMismatch(t *testing.T) {
+	g := testGraph(6, 10, 20)
+	pl, _ := NewPlacement(g, moduloOwner(g, 2), 2)
+	cl := testCluster(t, "c4.xlarge")
+	if _, _, err := RunSync[int64, int64](sumProgram{}, pl, cl); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestRunSyncChargesMoreCommForMoreMirrors(t *testing.T) {
+	g := testGraph(7, 40, 800)
+	coeffs := sumProgram{}.Coeffs()
+	_ = coeffs
+	cl1 := testCluster(t, "c4.xlarge")
+	cl4 := testCluster(t, "c4.xlarge", "c4.xlarge", "c4.xlarge", "c4.xlarge")
+	res1, _, err := RunSync[int64, int64](sumProgram{}, SingleMachine(g), cl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl4, _ := NewPlacement(g, moduloOwner(g, 4), 4)
+	res4, _, err := RunSync[int64, int64](sumProgram{}, pl4, cl4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(xs []float64) float64 {
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t
+	}
+	if sum(res1.CommBytes) != 0 {
+		t.Error("single machine run should have zero communication")
+	}
+	if sum(res4.CommBytes) == 0 {
+		t.Error("4-machine run should communicate")
+	}
+}
+
+func TestMaxMachinesMaskInvariant(t *testing.T) {
+	// ReplicaMask is a uint64; the bound must not exceed its width.
+	if MaxMachines > 64 {
+		t.Fatal("MaxMachines must fit a 64-bit replica mask")
+	}
+	var mask uint64 = 1<<uint(MaxMachines-1) | 1
+	if bits.OnesCount64(mask) != 2 {
+		t.Fatal("mask sanity")
+	}
+}
+
+// equalResults asserts two runs agree on all accounting.
+func equalResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.SimSeconds != b.SimSeconds {
+		t.Errorf("SimSeconds %v != %v", a.SimSeconds, b.SimSeconds)
+	}
+	if a.Supersteps != b.Supersteps {
+		t.Errorf("Supersteps %d != %d", a.Supersteps, b.Supersteps)
+	}
+	for p := range a.BusySeconds {
+		if a.BusySeconds[p] != b.BusySeconds[p] {
+			t.Errorf("machine %d busy %v != %v", p, a.BusySeconds[p], b.BusySeconds[p])
+		}
+		if a.CommBytes[p] != b.CommBytes[p] {
+			t.Errorf("machine %d comm %v != %v", p, a.CommBytes[p], b.CommBytes[p])
+		}
+	}
+	if a.EnergyJoules != b.EnergyJoules {
+		t.Errorf("energy %v != %v", a.EnergyJoules, b.EnergyJoules)
+	}
+}
+
+// rankProgram is a PageRank-like float program exercising non-associative
+// float rounding, so ordering differences between engines would show up.
+type rankProgram struct{}
+
+func (rankProgram) Name() string { return "rank" }
+func (rankProgram) Coeffs() CostCoeffs {
+	return CostCoeffs{OpsPerGather: 6, BytesPerGather: 34, OpsPerApply: 12,
+		BytesPerApply: 32, OpsPerVertex: 25, BytesPerVertex: 16,
+		SerialFrac: 0.02, AccumBytes: 12, ValueBytes: 12}
+}
+func (rankProgram) Direction() Direction { return GatherIn }
+func (rankProgram) ApplyAll() bool       { return true }
+func (rankProgram) MaxSupersteps() int   { return 8 }
+func (rankProgram) Init(v graph.VertexID, outDeg, inDeg int32) float64 {
+	return 1 / float64(outDeg+1)
+}
+func (rankProgram) Gather(src float64) float64 { return src * 0.31 }
+func (rankProgram) Sum(a, b float64) float64   { return a + b }
+func (rankProgram) Apply(v graph.VertexID, old, acc float64, has bool, rt *Runtime) (float64, bool) {
+	return 0.15 + 0.85*acc, true
+}
+
+func TestRunSyncParallelMatchesSequential(t *testing.T) {
+	g := testGraph(20, 500, 6000)
+	for _, m := range []int{1, 2, 4, 8} {
+		names := make([]string, m)
+		for i := range names {
+			if i%2 == 0 {
+				names[i] = "c4.xlarge"
+			} else {
+				names[i] = "c4.2xlarge"
+			}
+		}
+		cl := testCluster(t, names...)
+		pl, err := NewPlacement(g, moduloOwner(g, m), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRes, seqVals, err := RunSync[float64, float64](rankProgram{}, pl, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, parVals, err := RunSyncParallel[float64, float64](rankProgram{}, pl, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range seqVals {
+			diff := seqVals[v] - parVals[v]
+			if diff < 0 {
+				diff = -diff
+			}
+			// Float programs agree up to re-association of the partial sums.
+			if diff > 1e-9*(1+seqVals[v]) {
+				t.Fatalf("m=%d: vertex %d: %v != %v", m, v, seqVals[v], parVals[v])
+			}
+		}
+		equalResults(t, seqRes, parRes)
+	}
+}
+
+// minProgram exercises the frontier path (ApplyAll=false, GatherBoth).
+type minProgram struct{}
+
+func (minProgram) Name() string                                      { return "min" }
+func (minProgram) Coeffs() CostCoeffs                                { return rankProgram{}.Coeffs() }
+func (minProgram) Direction() Direction                              { return GatherBoth }
+func (minProgram) ApplyAll() bool                                    { return false }
+func (minProgram) MaxSupersteps() int                                { return 1000 }
+func (minProgram) Init(v graph.VertexID, outDeg, inDeg int32) uint32 { return uint32(v) }
+func (minProgram) Gather(src uint32) uint32                          { return src }
+func (minProgram) Sum(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (minProgram) Apply(v graph.VertexID, old, acc uint32, has bool, rt *Runtime) (uint32, bool) {
+	if has && acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+func TestRunSyncParallelFrontierMatchesSequential(t *testing.T) {
+	g := testGraph(21, 400, 2000)
+	cl := testCluster(t, "c4.xlarge", "c4.2xlarge", "c4.8xlarge")
+	pl, err := NewPlacement(g, moduloOwner(g, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRes, seqVals, err := RunSync[uint32, uint32](minProgram{}, pl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, parVals, err := RunSyncParallel[uint32, uint32](minProgram{}, pl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seqVals {
+		if seqVals[v] != parVals[v] {
+			t.Fatalf("vertex %d: %v != %v", v, seqVals[v], parVals[v])
+		}
+	}
+	equalResults(t, seqRes, parRes)
+}
+
+func TestRunSyncParallelClusterMismatch(t *testing.T) {
+	g := testGraph(22, 20, 60)
+	pl, _ := NewPlacement(g, moduloOwner(g, 2), 2)
+	cl := testCluster(t, "c4.xlarge")
+	if _, _, err := RunSyncParallel[float64, float64](rankProgram{}, pl, cl); err == nil {
+		t.Error("expected mismatch error")
+	}
+}

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/graph"
+)
+
+// RunSyncParallel executes a vertex program exactly like RunSync but runs
+// each simulated machine's gather and apply sweeps on its own goroutine —
+// the real parallelism inside one host that mirrors the distributed
+// parallelism being simulated. Gather contributions accumulate in
+// machine-private buffers and merge at the barrier in machine order.
+// All simulation accounting (times, energy, communication) is bit-identical
+// to the sequential engine; vertex values are bit-identical whenever Sum is
+// exactly associative (min, max, integer sums) and agree up to
+// floating-point re-association otherwise — the same contract PowerGraph's
+// own distributed gather offers.
+//
+// Memory grows by O(|V|) per machine for the private buffers, the classic
+// space-for-parallelism trade. Dynamic rebalancing is not supported here;
+// use RunSyncRebalanced for that.
+func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
+	if cl.Size() != pl.M {
+		return nil, nil, fmt.Errorf("engine: placement has %d machines, cluster %d", pl.M, cl.Size())
+	}
+	g := pl.G
+	n := g.NumVertices
+	rt := &Runtime{NumVertices: n, NumEdges: len(g.Edges)}
+
+	outDeg := g.OutDegrees()
+	inDeg := g.InDegrees()
+	vals := make([]V, n)
+	for v := range vals {
+		vals[v] = prog.Init(graph.VertexID(v), outDeg[v], inDeg[v])
+	}
+
+	// Global accumulators (merged) and per-machine private buffers.
+	acc := make([]A, n)
+	has := make([]bool, n)
+	type workerBuf[A any] struct {
+		acc     []A
+		has     []bool
+		cnt     []int32
+		touched []graph.VertexID // discovery order, for deterministic merge
+	}
+	workers := make([]workerBuf[A], pl.M)
+	for p := range workers {
+		workers[p] = workerBuf[A]{
+			acc: make([]A, n),
+			has: make([]bool, n),
+			cnt: make([]int32, n),
+		}
+	}
+
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	applyAll := prog.ApplyAll()
+	both := prog.Direction() == GatherBoth
+	account := NewAccountant(cl, prog.Coeffs())
+
+	maxSteps := prog.MaxSupersteps()
+	for step := 0; step < maxSteps; step++ {
+		rt.Step = step
+		counters := make([]StepCounters, pl.M)
+		changedFlags := make([]bool, pl.M)
+
+		// Gather phase: one goroutine per machine, private accumulation.
+		var wg sync.WaitGroup
+		wg.Add(pl.M)
+		for p := 0; p < pl.M; p++ {
+			go func(p int) {
+				defer wg.Done()
+				sc := &counters[p]
+				sc.Vertices = float64(len(pl.MasterVerts[p]))
+				wb := &workers[p]
+				gather := func(src, dst graph.VertexID) {
+					a := prog.Gather(vals[src])
+					if wb.has[dst] {
+						wb.acc[dst] = prog.Sum(wb.acc[dst], a)
+					} else {
+						wb.acc[dst] = a
+						wb.has[dst] = true
+						wb.touched = append(wb.touched, dst)
+						if pl.Master[dst] != int32(p) {
+							sc.PartialsOut++
+						}
+					}
+					sc.Gathers++
+					wb.cnt[dst]++
+					if u := float64(wb.cnt[dst]); u > sc.MaxUnit {
+						sc.MaxUnit = u
+					}
+				}
+				for _, ei := range pl.LocalEdges[p] {
+					e := g.Edges[ei]
+					if active[e.Src] {
+						gather(e.Src, e.Dst)
+					}
+					if both && active[e.Dst] {
+						gather(e.Dst, e.Src)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+
+		// Merge in machine order: identical Sum ordering to the sequential
+		// engine (machine 0's contributions first, each in edge order).
+		for p := 0; p < pl.M; p++ {
+			wb := &workers[p]
+			for _, v := range wb.touched {
+				if has[v] {
+					acc[v] = prog.Sum(acc[v], wb.acc[v])
+				} else {
+					acc[v] = wb.acc[v]
+					has[v] = true
+				}
+				wb.has[v] = false
+				wb.cnt[v] = 0
+				var zero A
+				wb.acc[v] = zero
+			}
+			wb.touched = wb.touched[:0]
+		}
+
+		// Apply phase: masters are disjoint across machines, so each
+		// machine's sweep writes its own vertices only.
+		wg.Add(pl.M)
+		for p := 0; p < pl.M; p++ {
+			go func(p int) {
+				defer wg.Done()
+				sc := &counters[p]
+				for _, v := range pl.MasterVerts[p] {
+					if !applyAll && !has[v] {
+						continue
+					}
+					newVal, changed := prog.Apply(v, vals[v], acc[v], has[v], rt)
+					sc.Applies++
+					vals[v] = newVal
+					if changed {
+						changedFlags[p] = true
+						mirrors := bits.OnesCount64(pl.ReplicaMask[v])
+						if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
+							mirrors--
+						}
+						sc.UpdatesOut += float64(mirrors)
+						if !applyAll {
+							nextActive[v] = true
+						}
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+
+		account.Superstep(counters)
+
+		clear(has)
+		clear(acc)
+
+		anyChanged := false
+		for _, c := range changedFlags {
+			anyChanged = anyChanged || c
+		}
+		if !anyChanged {
+			break
+		}
+		if !applyAll {
+			active, nextActive = nextActive, active
+			clear(nextActive)
+			anyActive := false
+			for _, a := range active {
+				if a {
+					anyActive = true
+					break
+				}
+			}
+			if !anyActive {
+				break
+			}
+		}
+	}
+
+	res := account.Finish(prog.Name(), g.Name, nil)
+	return res, vals, nil
+}

@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/graph"
+)
+
+// Direction selects which edge endpoints a program gathers from.
+type Direction int
+
+const (
+	// GatherIn gathers along in-edges only (PageRank).
+	GatherIn Direction = iota
+	// GatherBoth gathers along both directions (label propagation).
+	GatherBoth
+)
+
+// Runtime exposes per-run globals to vertex programs.
+type Runtime struct {
+	// NumVertices and NumEdges describe the input graph.
+	NumVertices, NumEdges int
+	// Step is the current superstep, starting at 0.
+	Step int
+}
+
+// Program is a PowerGraph-style gather–apply–scatter vertex program.
+// V is the per-vertex state, A the gather accumulator.
+type Program[V, A any] interface {
+	// Name labels the application.
+	Name() string
+	// Coeffs supplies the simulation cost constants.
+	Coeffs() CostCoeffs
+	// Direction selects the gather neighborhood.
+	Direction() Direction
+	// ApplyAll reports whether every vertex applies each superstep
+	// (fixed-point style, PageRank) rather than only signalled ones.
+	ApplyAll() bool
+	// MaxSupersteps bounds the iteration count.
+	MaxSupersteps() int
+	// Init produces vertex v's initial state.
+	Init(v graph.VertexID, outDeg, inDeg int32) V
+	// Gather returns the contribution of a neighbor with state src along one
+	// edge.
+	Gather(src V) A
+	// Sum combines two gather contributions (must be commutative and
+	// associative, PowerGraph's requirement for distributing the gather).
+	Sum(a, b A) A
+	// Apply combines vertex v's old state with the gathered accumulator and
+	// reports whether the state changed (changed vertices signal their
+	// neighbors in scatter).
+	Apply(v graph.VertexID, old V, acc A, hasAcc bool, rt *Runtime) (V, bool)
+}
+
+// Rebalancer lets a dynamic load-balancing policy (e.g. the Mizan-style
+// migrator in internal/dynamic) reassign edges between supersteps, the
+// related-work alternative to the paper's static CCR-guided ingress. After
+// each barrier the engine reports the step's per-machine times; the policy
+// may return a replacement owner vector plus the number of edges it moved,
+// and the engine charges the migration traffic as a stall before continuing.
+type Rebalancer interface {
+	// Decide inspects the last superstep and optionally returns a new owner
+	// assignment. moved is the number of edges that changed machines.
+	Decide(step int, perMachineSeconds []float64, pl *Placement) (owner []int32, moved int64, ok bool)
+}
+
+// migratedEdgeBytes is the wire cost of moving one edge (endpoints plus the
+// associated vertex state) during dynamic rebalancing.
+const migratedEdgeBytes = 48
+
+// RunSync executes prog over the placement on cl and returns the execution
+// report plus the final vertex states. The computation is exact; only the
+// charged time depends on the placement.
+func RunSync[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
+	return RunSyncRebalanced[V, A](prog, pl, cl, nil)
+}
+
+// RunSyncRebalanced is RunSync with an optional dynamic rebalancing policy
+// invoked after every superstep (nil behaves exactly like RunSync).
+func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster, rb Rebalancer) (*Result, []V, error) {
+	if cl.Size() != pl.M {
+		return nil, nil, fmt.Errorf("engine: placement has %d machines, cluster %d", pl.M, cl.Size())
+	}
+	g := pl.G
+	n := g.NumVertices
+	rt := &Runtime{NumVertices: n, NumEdges: len(g.Edges)}
+
+	outDeg := g.OutDegrees()
+	inDeg := g.InDegrees()
+	vals := make([]V, n)
+	for v := range vals {
+		vals[v] = prog.Init(graph.VertexID(v), outDeg[v], inDeg[v])
+	}
+
+	acc := make([]A, n)
+	has := make([]bool, n)
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	// touched[v] stamps the last (superstep, machine) pair that contributed a
+	// partial for v, so each (machine, vertex) partial is counted once;
+	// contribs[v] counts that pair's gathers into v for skew accounting.
+	touched := make([]int64, n)
+	for v := range touched {
+		touched[v] = -1
+	}
+	contribs := make([]int32, n)
+
+	applyAll := prog.ApplyAll()
+	both := prog.Direction() == GatherBoth
+	account := NewAccountant(cl, prog.Coeffs())
+
+	maxSteps := prog.MaxSupersteps()
+	for step := 0; step < maxSteps; step++ {
+		rt.Step = step
+		counters := make([]StepCounters, pl.M)
+
+		// Gather phase: every machine walks its local edges and accumulates
+		// contributions from active sources into target accumulators. The
+		// first contribution a machine makes toward a remote master costs one
+		// partial on the wire.
+		for p := 0; p < pl.M; p++ {
+			sc := &counters[p]
+			sc.Vertices = float64(len(pl.MasterVerts[p]))
+			stampBase := (int64(step)*int64(pl.M) + int64(p) + 1) * 1
+			for _, ei := range pl.LocalEdges[p] {
+				e := g.Edges[ei]
+				if active[e.Src] {
+					gatherInto(prog, vals, acc, has, e.Src, e.Dst)
+					sc.Gathers++
+					if touched[e.Dst] != stampBase {
+						touched[e.Dst] = stampBase
+						contribs[e.Dst] = 0
+						if pl.Master[e.Dst] != int32(p) {
+							sc.PartialsOut++
+						}
+					}
+					contribs[e.Dst]++
+					if u := float64(contribs[e.Dst]); u > sc.MaxUnit {
+						sc.MaxUnit = u
+					}
+				}
+				if both && active[e.Dst] {
+					gatherInto(prog, vals, acc, has, e.Dst, e.Src)
+					sc.Gathers++
+					if touched[e.Src] != stampBase {
+						touched[e.Src] = stampBase
+						contribs[e.Src] = 0
+						if pl.Master[e.Src] != int32(p) {
+							sc.PartialsOut++
+						}
+					}
+					contribs[e.Src]++
+					if u := float64(contribs[e.Src]); u > sc.MaxUnit {
+						sc.MaxUnit = u
+					}
+				}
+			}
+		}
+
+		// Apply phase: masters apply and broadcast changed values to mirrors.
+		anyChanged := false
+		for p := 0; p < pl.M; p++ {
+			sc := &counters[p]
+			for _, v := range pl.MasterVerts[p] {
+				if !applyAll && !has[v] {
+					continue
+				}
+				newVal, changed := prog.Apply(v, vals[v], acc[v], has[v], rt)
+				sc.Applies++
+				vals[v] = newVal
+				if changed {
+					anyChanged = true
+					mirrors := bits.OnesCount64(pl.ReplicaMask[v])
+					if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
+						mirrors--
+					}
+					sc.UpdatesOut += float64(mirrors)
+					if !applyAll {
+						nextActive[v] = true
+					}
+				}
+			}
+		}
+
+		account.Superstep(counters)
+
+		// Dynamic rebalancing hook: migrate edges between barriers, paying
+		// for the moved state on the wire.
+		if rb != nil {
+			last := account.LastStep()
+			if owner, moved, ok := rb.Decide(step, last.PerMachine, pl); ok {
+				newPl, err := NewPlacement(g, owner, pl.M)
+				if err != nil {
+					return nil, nil, fmt.Errorf("engine: rebalance at step %d: %w", step, err)
+				}
+				pl = newPl
+				account.Stall(cl.Net.TransferTime(float64(moved)*migratedEdgeBytes), "migrate")
+			}
+		}
+
+		// Reset accumulators for the next superstep.
+		clear(has)
+		clear(acc)
+
+		if !anyChanged {
+			break
+		}
+		if !applyAll {
+			active, nextActive = nextActive, active
+			clear(nextActive)
+			anyActive := false
+			for _, a := range active {
+				if a {
+					anyActive = true
+					break
+				}
+			}
+			if !anyActive {
+				break
+			}
+		}
+	}
+
+	res := account.Finish(prog.Name(), g.Name, nil)
+	return res, vals, nil
+}
+
+// gatherInto accumulates the contribution of src's state into dst.
+func gatherInto[V, A any](prog Program[V, A], vals []V, acc []A, has []bool, src, dst graph.VertexID) {
+	a := prog.Gather(vals[src])
+	if has[dst] {
+		acc[dst] = prog.Sum(acc[dst], a)
+	} else {
+		acc[dst] = a
+		has[dst] = true
+	}
+}

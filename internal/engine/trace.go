@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StepTiming records one accounted phase of an execution: how long each
+// machine spent in it and what the phase contributed to the makespan. It is
+// the raw material for straggler analysis — exactly the imbalance the
+// paper's CCR-guided partitioning removes.
+type StepTiming struct {
+	// Kind is "sync" for barriered supersteps, "async" for asynchronous
+	// phases folded at the next barrier.
+	Kind string
+	// PerMachine is each machine's time in the phase (max of compute and
+	// overlapped communication).
+	PerMachine []float64
+	// Barrier is the phase's contribution to the simulated makespan
+	// (the slowest machine for sync steps; 0 for async rounds, whose
+	// contribution lands when the pending time folds).
+	Barrier float64
+}
+
+// Straggler returns the index of the slowest machine in the phase.
+func (st StepTiming) Straggler() int {
+	worst, idx := -1.0, 0
+	for p, t := range st.PerMachine {
+		if t > worst {
+			worst, idx = t, p
+		}
+	}
+	return idx
+}
+
+// TraceGantt renders an execution trace as an ASCII timeline, one row per
+// (step, machine), bars scaled to the slowest phase. The straggler of each
+// step is marked with '*': on an imbalanced partition the same machine
+// stars in every step.
+//
+//	step  0 sync  m0 |############********|*
+//	              m1 |########            |
+func TraceGantt(res *Result, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var maxT float64
+	for _, st := range res.Trace {
+		for _, t := range st.PerMachine {
+			if t > maxT {
+				maxT = t
+			}
+		}
+	}
+	if maxT == 0 {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %d phases, makespan %.6fs\n", res.App, res.Graph, len(res.Trace), res.SimSeconds)
+	for i, st := range res.Trace {
+		straggler := st.Straggler()
+		for p, t := range st.PerMachine {
+			bar := int(t / maxT * float64(width))
+			label := " "
+			if p == straggler {
+				label = "*"
+			}
+			head := ""
+			if p == 0 {
+				head = fmt.Sprintf("step %3d %-5s", i, st.Kind)
+			}
+			fmt.Fprintf(&b, "%-14s m%-2d |%-*s|%s\n", head, p, width, strings.Repeat("#", bar), label)
+		}
+	}
+	return b.String()
+}
+
+// StragglerShare returns, per machine, the fraction of phases in which it
+// was the straggler. A perfectly balanced heterogeneous run spreads
+// stragglers; a thread-count-misestimated run pins them on one machine.
+func StragglerShare(res *Result) []float64 {
+	if len(res.Trace) == 0 || len(res.BusySeconds) == 0 {
+		return nil
+	}
+	counts := make([]float64, len(res.BusySeconds))
+	for _, st := range res.Trace {
+		counts[st.Straggler()]++
+	}
+	for i := range counts {
+		counts[i] /= float64(len(res.Trace))
+	}
+	return counts
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func traceResult(t *testing.T) *Result {
+	t.Helper()
+	cl := testCluster(t, "c4.xlarge", "c4.8xlarge")
+	coeffs := CostCoeffs{OpsPerGather: 10, BytesPerGather: 10}
+	a := NewAccountant(cl, coeffs)
+	a.Superstep([]StepCounters{{Gathers: 4e6}, {Gathers: 4e6}})
+	a.Superstep([]StepCounters{{Gathers: 2e6}, {Gathers: 8e6}})
+	a.Async([]StepCounters{{Gathers: 1e6}, {Gathers: 1e6}})
+	return a.Finish("tracetest", "g", nil)
+}
+
+func TestTraceRecorded(t *testing.T) {
+	res := traceResult(t)
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace has %d phases, want 3", len(res.Trace))
+	}
+	if res.Trace[0].Kind != "sync" || res.Trace[2].Kind != "async" {
+		t.Errorf("trace kinds = %v/%v", res.Trace[0].Kind, res.Trace[2].Kind)
+	}
+	// Step 0: equal gathers on unequal machines -> the xlarge straggles.
+	if got := res.Trace[0].Straggler(); got != 0 {
+		t.Errorf("step 0 straggler = m%d, want m0 (xlarge)", got)
+	}
+	// Sync barriers must sum (with the async fold) to the makespan.
+	sum := 0.0
+	for _, st := range res.Trace {
+		sum += st.Barrier
+	}
+	if sum > res.SimSeconds {
+		t.Errorf("barrier sum %v exceeds makespan %v", sum, res.SimSeconds)
+	}
+	// Async rounds carry no per-phase barrier.
+	if res.Trace[2].Barrier != 0 {
+		t.Errorf("async phase barrier = %v, want 0", res.Trace[2].Barrier)
+	}
+}
+
+func TestTraceGanttRenders(t *testing.T) {
+	res := traceResult(t)
+	out := TraceGantt(res, 30)
+	for _, want := range []string{"tracetest", "step", "sync", "async", "#", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// One row per (phase, machine) plus a header.
+	lines := strings.Count(out, "\n")
+	if lines != 1+3*2 {
+		t.Errorf("gantt has %d lines, want 7:\n%s", lines, out)
+	}
+	// Degenerate inputs do not panic.
+	if got := TraceGantt(&Result{}, 5); !strings.Contains(got, "empty trace") {
+		t.Errorf("empty trace rendering = %q", got)
+	}
+}
+
+func TestStragglerShare(t *testing.T) {
+	res := traceResult(t)
+	shares := StragglerShare(res)
+	if len(shares) != 2 {
+		t.Fatalf("shares = %v", shares)
+	}
+	total := shares[0] + shares[1]
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("straggler shares sum to %v", total)
+	}
+	// The small machine straggles in steps 0 and 2 (equal load), the big one
+	// in step 1 (4x load).
+	if shares[0] <= shares[1] {
+		t.Errorf("xlarge should straggle more: %v", shares)
+	}
+	if StragglerShare(&Result{}) != nil {
+		t.Error("empty result should yield nil shares")
+	}
+}
+
+func TestIngressReport(t *testing.T) {
+	g := testGraph(10, 200, 4000)
+	cl := testCluster(t, "c4.xlarge", "c4.8xlarge")
+	pl, err := NewPlacement(g, moduloOwner(g, 2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Ingress(pl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 {
+		t.Error("ingress makespan should be positive")
+	}
+	for p := 0; p < 2; p++ {
+		if rep.LoadSeconds[p] <= 0 {
+			t.Errorf("machine %d: zero load time", p)
+		}
+		if rep.LoadSeconds[p]+rep.ExchangeSeconds[p] > rep.Makespan+1e-12 {
+			t.Errorf("machine %d exceeds makespan", p)
+		}
+	}
+	// Mismatched cluster errors.
+	one := testCluster(t, "c4.xlarge")
+	if _, err := Ingress(pl, one); err == nil {
+		t.Error("expected machine-count mismatch error")
+	}
+	// Skewed placements load the loaded machine longer.
+	skewOwner := make([]int32, len(g.Edges))
+	for i := range skewOwner {
+		if i%10 == 0 {
+			skewOwner[i] = 1
+		}
+	}
+	skewPl, err := NewPlacement(g, skewOwner, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewRep, err := Ingress(skewPl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewRep.LoadSeconds[0] <= skewRep.LoadSeconds[1] {
+		t.Error("machine holding 90% of edges should load longer")
+	}
+	// A single-machine placement exchanges nothing.
+	soloRep, err := Ingress(SingleMachine(g), one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloRep.ExchangeSeconds[0] != 0 {
+		t.Errorf("single machine exchange = %v, want 0", soloRep.ExchangeSeconds[0])
+	}
+}

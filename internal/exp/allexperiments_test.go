@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"proxygraph/internal/metrics"
+)
+
+// TestEveryExperimentProducesWellFormedTables runs the complete experiment
+// catalog once at a tiny scale and checks structural invariants shared by
+// all outputs: a title, a header, at least one row, rectangular-enough rows,
+// and CSV that round-trips the row count. This is the integration net under
+// cmd/bench and the benchmark harness.
+func TestEveryExperimentProducesWellFormedTables(t *testing.T) {
+	lab := NewLab(Config{Scale: 1024, Seed: 42})
+	catalog := []struct {
+		name string
+		run  func() ([]*metrics.Table, error)
+	}{
+		{"table1", func() ([]*metrics.Table, error) { return []*metrics.Table{TableI()}, nil }},
+		{"table2", wrap(lab.TableII)},
+		{"fig2", wrap(lab.Fig2)},
+		{"fig6", wrap(lab.Fig6)},
+		{"fig8a", wrap(lab.Fig8a)},
+		{"fig8b", wrap(lab.Fig8b)},
+		{"fig9", lab.Fig9},
+		{"fig9summary", wrap(lab.Fig9Summary)},
+		{"fig10a", wrap(lab.Fig10a)},
+		{"fig10b", wrap(lab.Fig10b)},
+		{"fig11", wrap(lab.Fig11)},
+		{"replication", wrap(lab.ReplicationStudy)},
+		{"ingress", wrap(lab.IngressStudy)},
+		{"dynamic", wrap(lab.DynamicStudy)},
+		{"amortization", wrap(lab.AmortizationStudy)},
+		{"freqsweep", wrap(lab.FrequencySweep)},
+		{"abl-hybrid", wrap(lab.AblationHybridThreshold)},
+		{"abl-ginger", wrap(lab.AblationGingerGamma)},
+		{"abl-proxyset", wrap(lab.AblationProxySet)},
+		{"abl-scale", wrap(lab.AblationScaleInvariance)},
+		{"abl-subsample", wrap(lab.AblationSubsample)},
+	}
+	for _, exp := range catalog {
+		exp := exp
+		t.Run(exp.name, func(t *testing.T) {
+			tables, err := exp.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if tab.Title == "" {
+					t.Error("table has no title")
+				}
+				if len(tab.Columns) < 2 {
+					t.Errorf("table %q has %d columns", tab.Title, len(tab.Columns))
+				}
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %q has no rows", tab.Title)
+				}
+				for i, row := range tab.Rows {
+					if len(row) > len(tab.Columns) {
+						t.Errorf("table %q row %d wider than header", tab.Title, i)
+					}
+					for j, cell := range row {
+						if strings.TrimSpace(cell) == "" {
+							t.Errorf("table %q cell (%d,%d) empty", tab.Title, i, j)
+						}
+					}
+				}
+				csv := tab.CSV()
+				lines := strings.Count(strings.TrimSpace(csv), "\n") + 1
+				if lines != len(tab.Rows)+1 {
+					t.Errorf("table %q CSV has %d lines, want %d", tab.Title, lines, len(tab.Rows)+1)
+				}
+				text := tab.String()
+				if !strings.Contains(text, tab.Title) {
+					t.Errorf("rendering lost the title of %q", tab.Title)
+				}
+			}
+		})
+	}
+}
+
+func wrap(f func() (*metrics.Table, error)) func() ([]*metrics.Table, error) {
+	return func() ([]*metrics.Table, error) {
+		tab, err := f()
+		if err != nil {
+			return nil, err
+		}
+		return []*metrics.Table{tab}, nil
+	}
+}

@@ -1,0 +1,490 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"proxygraph/internal/gen"
+)
+
+// testLab runs experiments at a tiny scale so the suite stays fast; the
+// benchmark harness exercises the default scale.
+func testLab() *Lab {
+	return NewLab(Config{Scale: 256, Seed: 42})
+}
+
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(cell, "%fx", &v); err != nil {
+		t.Fatalf("cannot parse speedup cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(cell, "%f%%", &v); err != nil {
+		t.Fatalf("cannot parse percent cell %q: %v", cell, err)
+	}
+	return v / 100
+}
+
+func TestTableI(t *testing.T) {
+	tab := TableI()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("Table I has %d machines, want 8", len(tab.Rows))
+	}
+	out := tab.String()
+	for _, want := range []string{"c4.xlarge", "c4.8xlarge", "m4.2xlarge", "r3.2xlarge", "XeonServerS", "$0.209/hour", "Virtual", "Physical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table II has %d graphs, want 7", len(tab.Rows))
+	}
+	// Fitted alphas must land in the natural-graph band the paper reports.
+	for _, row := range tab.Rows {
+		var alpha float64
+		if _, err := fmt.Sscanf(row[4], "%f", &alpha); err != nil {
+			t.Fatalf("bad alpha cell %q", row[4])
+		}
+		if alpha < 1.6 || alpha > 3.2 {
+			t.Errorf("%s: fitted alpha %v outside plausible band", row[0], alpha)
+		}
+	}
+}
+
+func TestFig2ShapesMatchPaper(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Fig 2 has %d series, want 5", len(tab.Rows))
+	}
+	// Row 0 is the prior-work estimate: 1, 3, 7, 17.
+	est := tab.Rows[0]
+	wantEst := []float64{1, 3, 7, 17}
+	for i, w := range wantEst {
+		if got := parseSpeedup(t, est[i+1]); got != w {
+			t.Errorf("estimate[%d] = %v, want %v", i, got, w)
+		}
+	}
+	// Every application's real speedup is monotone along the ladder and far
+	// below the 17x estimate at 8xlarge.
+	for _, row := range tab.Rows[1:] {
+		prev := 0.0
+		for i := 1; i < len(row); i++ {
+			v := parseSpeedup(t, row[i])
+			if v < prev*0.98 {
+				t.Errorf("%s: speedup not monotone: %v after %v", row[0], v, prev)
+			}
+			prev = v
+		}
+		last := parseSpeedup(t, row[len(row)-1])
+		if last >= 12 {
+			t.Errorf("%s: real 8xlarge speedup %v suspiciously close to the 17x estimate", row[0], last)
+		}
+		if last < 2 {
+			t.Errorf("%s: real 8xlarge speedup %v too small", row[0], last)
+		}
+	}
+}
+
+func TestFig6PowerLawDecay(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("Fig 6 has only %d degree buckets", len(tab.Rows))
+	}
+	// Counts must decay across log buckets (allowing the last sparse tail).
+	var first, second int64
+	fmt.Sscanf(tab.Rows[0][1], "%d", &first)
+	fmt.Sscanf(tab.Rows[1][1], "%d", &second)
+	if first <= second {
+		t.Errorf("degree distribution not decaying: bucket0=%d bucket1=%d", first, second)
+	}
+}
+
+func TestFig8Accuracy(t *testing.T) {
+	lab := testLab()
+	tabA, err := lab.Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabB, err := lab.Fig8b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		rows int
+		note string
+	}{
+		{"8a", 12, tabA.Notes[0]},
+		{"8b", 12, tabB.Notes[0]},
+	} {
+		var proxyAcc, proxyErr, priorErr float64
+		if _, err := fmt.Sscanf(tc.note, "proxy accuracy %f%% (error %f%%); prior-work error %f%%",
+			&proxyAcc, &proxyErr, &priorErr); err != nil {
+			t.Fatalf("fig %s: cannot parse note %q: %v", tc.name, tc.note, err)
+		}
+		if proxyErr >= priorErr {
+			t.Errorf("fig %s: proxy error %v%% not better than prior %v%%", tc.name, proxyErr, priorErr)
+		}
+		if proxyAcc < 80 {
+			t.Errorf("fig %s: proxy accuracy %v%% below 80%%", tc.name, proxyAcc)
+		}
+	}
+	if len(tabA.Rows) != 12 || len(tabB.Rows) != 12 {
+		t.Errorf("fig8 tables have %d/%d rows, want 12 (4 apps x 3 series)", len(tabA.Rows), len(tabB.Rows))
+	}
+}
+
+func TestFig9CaseOne(t *testing.T) {
+	lab := testLab()
+	tables, err := lab.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("Fig 9 has %d tables, want 4", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != 20 { // 4 graphs x 5 partitioners
+			t.Fatalf("%s: %d rows, want 20", tab.Title, len(tab.Rows))
+		}
+		var speedups []float64
+		for _, row := range tab.Rows {
+			speedups = append(speedups, parseSpeedup(t, row[4]))
+		}
+		mean := 0.0
+		for _, s := range speedups {
+			mean += s
+		}
+		mean /= float64(len(speedups))
+		// CCR-guided must beat prior work on average on this cluster where
+		// prior work is blind (Case 1's entire point).
+		if mean < 1.01 {
+			t.Errorf("%s: mean speedup %.3f, want > 1", tab.Title, mean)
+		}
+		if mean > 2 {
+			t.Errorf("%s: mean speedup %.3f implausibly high", tab.Title, mean)
+		}
+	}
+}
+
+func TestFig10CasesTwoAndThree(t *testing.T) {
+	lab := testLab()
+	tabA, err := lab.Fig10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabB, err := lab.Fig10b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, rows [][]string) (oursMean float64) {
+		if len(rows) != 4 {
+			t.Fatalf("%s: %d rows, want 4 apps", name, len(rows))
+		}
+		var oursSum, priorSum float64
+		for _, row := range rows {
+			sPrior := parseSpeedup(t, row[1])
+			sOurs := parseSpeedup(t, row[2])
+			ePrior := parsePct(t, row[3])
+			eOurs := parsePct(t, row[4])
+			// Per-application, ours must stay competitive (the paper's
+			// Case 3 notes Triangle Count lands close to prior work).
+			if sOurs < sPrior*0.90 {
+				t.Errorf("%s/%s: ours %.3f far below prior %.3f", name, row[0], sOurs, sPrior)
+			}
+			if eOurs < ePrior-0.05 {
+				t.Errorf("%s/%s: ours energy %.3f far below prior %.3f", name, row[0], eOurs, ePrior)
+			}
+			oursSum += sOurs
+			priorSum += sPrior
+		}
+		// On average over the four applications ours must win, the paper's
+		// headline comparison.
+		if oursSum < priorSum {
+			t.Errorf("%s: mean ours %.3f below mean prior %.3f", name, oursSum/4, priorSum/4)
+		}
+		return oursSum / 4
+	}
+	meanA := check("fig10a", tabA.Rows)
+	meanB := check("fig10b", tabB.Rows)
+	if meanA <= 1.05 {
+		t.Errorf("Case 2 mean speedup %.3f too small", meanA)
+	}
+	// Case 3's deeper heterogeneity should help at least as much as Case 2.
+	if meanB < meanA*0.95 {
+		t.Errorf("Case 3 speedup %.3f should be at least Case 2's %.3f", meanB, meanA)
+	}
+}
+
+func TestFig11Pareto(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 24 { // 6 machines x 4 apps
+		t.Fatalf("Fig 11 has %d rows, want 24", len(tab.Rows))
+	}
+	// The 8xlarge should never be the cheapest option (the paper's "most
+	// expensive machine for graph workloads" observation).
+	cheapest := map[string]string{}
+	costs := map[string]map[string]float64{}
+	for _, row := range tab.Rows {
+		machine, app := row[0], row[1]
+		var cost float64
+		fmt.Sscanf(row[3], "%f", &cost)
+		if costs[app] == nil {
+			costs[app] = map[string]float64{}
+		}
+		costs[app][machine] = cost
+	}
+	for app, byMachine := range costs {
+		best, bestCost := "", 0.0
+		for m, c := range byMachine {
+			if best == "" || c < bestCost {
+				best, bestCost = m, c
+			}
+		}
+		cheapest[app] = best
+		if best == "c4.8xlarge" {
+			t.Errorf("%s: 8xlarge is the cheapest per task, contradicting the paper's Pareto", app)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	lab := testLab()
+	ht, err := lab.AblationHybridThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ht.Rows) != 6 {
+		t.Errorf("hybrid threshold ablation rows = %d", len(ht.Rows))
+	}
+	gg, err := lab.AblationGingerGamma()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gg.Rows) != 5 {
+		t.Errorf("ginger gamma ablation rows = %d", len(gg.Rows))
+	}
+	ps, err := lab.AblationProxySet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Rows) != 4 {
+		t.Errorf("proxy set ablation rows = %d", len(ps.Rows))
+	}
+	si, err := lab.AblationScaleInvariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(si.Rows) != 4 {
+		t.Errorf("scale invariance ablation rows = %d", len(si.Rows))
+	}
+	// CCR must be stable across scales within 15%.
+	var ratios []float64
+	for _, row := range si.Rows {
+		var v float64
+		fmt.Sscanf(row[1], "%f", &v)
+		ratios = append(ratios, v)
+	}
+	for _, r := range ratios[1:] {
+		if r < ratios[0]*0.85 || r > ratios[0]*1.15 {
+			t.Errorf("CCR not scale invariant: %v vs %v", r, ratios[0])
+		}
+	}
+}
+
+func TestLabGraphCaching(t *testing.T) {
+	lab := testLab()
+	a, err := lab.Graph(gen.RealGraphs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.Graph(gen.RealGraphs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("graph cache miss on identical spec")
+	}
+}
+
+func TestSystemsOrder(t *testing.T) {
+	lab := testLab()
+	systems, err := lab.Systems()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 3 || systems[0].Name != "default" || systems[1].Name != "prior-work" {
+		t.Errorf("systems = %+v", systems)
+	}
+}
+
+func TestReplicationStudy(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.ReplicationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("replication study rows = %d, want 4 graphs", len(tab.Rows))
+	}
+	if len(tab.Columns) != 7 { // graph + 6 algorithms
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	// Replication factors parse and sit in [1, 8].
+	for _, row := range tab.Rows {
+		var rnd float64
+		fmt.Sscanf(row[1], "%f", &rnd)
+		for c := 1; c < len(row); c++ {
+			var v float64
+			if _, err := fmt.Sscanf(row[c], "%f", &v); err != nil {
+				t.Fatalf("bad cell %q", row[c])
+			}
+			if v < 1 || v > 8 {
+				t.Errorf("%s/%s: replication %v out of range", row[0], tab.Columns[c], v)
+			}
+		}
+	}
+}
+
+func TestAblationSubsample(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.AblationSubsample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	proxyMean := parsePct(t, tab.Rows[0][5])
+	worstSubsample := 0.0
+	for _, row := range tab.Rows[1:] {
+		if v := parsePct(t, row[5]); v > worstSubsample {
+			worstSubsample = v
+		}
+	}
+	// The paper's motivation: at least the aggressive subsamples must be
+	// clearly worse than the synthetic proxies.
+	if worstSubsample <= proxyMean {
+		t.Errorf("worst subsample error %.3f not worse than proxies %.3f", worstSubsample, proxyMean)
+	}
+}
+
+func TestIngressStudy(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.IngressStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestDynamicStudy(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.DynamicStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Dynamic balancing must beat the default on the biggest graph, and the
+	// static proxy ingress must be at least competitive with dynamic.
+	for _, row := range tab.Rows {
+		if row[0] != "social_network/"+fmt.Sprint(lab.Cfg.Scale) {
+			continue
+		}
+		ratio := parseSpeedup(t, row[6])
+		if ratio < 0.9 {
+			t.Errorf("proxy static lost badly to dynamic: %v", ratio)
+		}
+	}
+}
+
+func TestAmortizationStudy(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.AmortizationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// By the final checkpoint the proxy system must be ahead of the default.
+	last := tab.Rows[len(tab.Rows)-1]
+	parse := func(cell string) float64 {
+		var v float64
+		var unit string
+		fmt.Sscanf(cell, "%f%s", &v, &unit)
+		switch unit {
+		case "ms":
+			v /= 1e3
+		case "µs":
+			v /= 1e6
+		}
+		return v
+	}
+	if parse(last[3]) >= parse(last[1]) {
+		t.Errorf("proxy cumulative %s not below default %s after 30 jobs", last[3], last[1])
+	}
+}
+
+func TestFrequencySweep(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.FrequencySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// PageRank's CCR must decrease monotonically as the little machine
+	// speeds up, ending above the thread estimate at low frequency.
+	parseRatio := func(cell string) float64 {
+		var v float64
+		fmt.Sscanf(cell, "1 : %f", &v)
+		return v
+	}
+	prev := math.Inf(1)
+	for _, row := range tab.Rows {
+		v := parseRatio(row[1])
+		if v > prev+1e-9 {
+			t.Errorf("pagerank CCR not decreasing with frequency: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	slowest := parseRatio(tab.Rows[0][1])
+	estimate := parseRatio(tab.Rows[0][5])
+	if slowest <= estimate {
+		t.Errorf("at 1.2GHz the real CCR (%v) should exceed the frequency-blind estimate (%v)", slowest, estimate)
+	}
+}

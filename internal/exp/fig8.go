@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/metrics"
+)
+
+// Fig8a reproduces the paper's Fig 8a: CCRs acquired from real-world graphs
+// vs synthetic proxy graphs across the c4 ladder (machines with different
+// thread counts in the same category), plus the prior work's estimate. The
+// note reports the aggregate accuracies the paper quotes (proxy ≈92%
+// accurate; thread-count estimate ≈108% error).
+func (l *Lab) Fig8a() (*metrics.Table, error) {
+	order := []string{"c4.xlarge", "c4.2xlarge", "c4.4xlarge", "c4.8xlarge"}
+	return l.figure8("Fig 8a: CCR from real vs synthetic graphs (c4 ladder)", LadderC4(), order)
+}
+
+// Fig8b reproduces Fig 8b: the same comparison for machines with identical
+// thread counts from three categories (m4 / c4 / r3 2xlarge), heterogeneity
+// the prior work cannot see at all.
+func (l *Lab) Fig8b() (*metrics.Table, error) {
+	order := []string{"m4.2xlarge", "c4.2xlarge", "r3.2xlarge"}
+	return l.figure8("Fig 8b: CCR from real vs synthetic graphs (2xlarge categories)", Cross2xlarge(), order)
+}
+
+func (l *Lab) figure8(title string, cl *cluster.Cluster, order []string) (*metrics.Table, error) {
+	reals, err := l.realGraphs()
+	if err != nil {
+		return nil, err
+	}
+	pp, err := l.Profiler()
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable(title, append([]string{"app", "series"}, order...)...)
+
+	var proxyErrs, priorErrs []float64
+	for _, app := range apps.All() {
+		truth, err := l.realCCR(cl, app, reals)
+		if err != nil {
+			return nil, err
+		}
+		proxy, err := pp.Estimate(cl, app)
+		if err != nil {
+			return nil, err
+		}
+		prior, err := core.NewThreadCount().Estimate(cl, app)
+		if err != nil {
+			return nil, err
+		}
+		addSeries := func(label string, c core.CCR) {
+			row := []string{app.Name(), label}
+			for _, m := range order {
+				row = append(row, metrics.Speedup(c.Ratios[m]))
+			}
+			t.AddRow(row...)
+		}
+		addSeries("real graphs", truth)
+		addSeries("synthetic", proxy)
+		addSeries("prior estimate", prior)
+
+		pe, err := proxy.Error(truth)
+		if err != nil {
+			return nil, err
+		}
+		we, err := prior.Error(truth)
+		if err != nil {
+			return nil, err
+		}
+		proxyErrs = append(proxyErrs, pe)
+		priorErrs = append(priorErrs, we)
+	}
+	t.AddNote("proxy accuracy %s (error %s); prior-work error %s",
+		metrics.Pct(1-metrics.Mean(proxyErrs)), metrics.Pct(metrics.Mean(proxyErrs)),
+		metrics.Pct(metrics.Mean(priorErrs)))
+	return t, nil
+}
+
+// realCCR measures the ground-truth CCR as the geometric mean over the four
+// emulated real-world graphs.
+func (l *Lab) realCCR(cl *cluster.Cluster, app apps.App, reals []*graph.Graph) (core.CCR, error) {
+	ratioMaps := make([]map[string]float64, 0, len(reals))
+	for _, g := range reals {
+		c, err := core.MeasureCCR(cl, app, g)
+		if err != nil {
+			return core.CCR{}, err
+		}
+		ratioMaps = append(ratioMaps, c.Ratios)
+	}
+	agg := geoMeanMap(ratioMaps)
+	// Renormalize so the slowest group is exactly 1.
+	slowest := 0.0
+	for _, v := range agg {
+		if slowest == 0 || v < slowest {
+			slowest = v
+		}
+	}
+	for k := range agg {
+		agg[k] /= slowest
+	}
+	return core.CCR{App: app.Name(), Ratios: agg}, nil
+}
+
+func maxInt(xs []int) int {
+	best := 0
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+func formatRange(lo, hi int) string {
+	if lo == hi {
+		return fmt.Sprint(lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+func formatCount(c int64) string { return fmt.Sprint(c) }
+
+// degreeHistogram adapts graph.DegreeHistogram over out-degrees, the side
+// of the distribution Algorithm 1 samples from its power law.
+func degreeHistogram(g *graph.Graph) ([]int, []int64) {
+	return graph.DegreeHistogram(g.OutDegrees())
+}

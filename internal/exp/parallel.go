@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel executes fn(0..n-1) on up to GOMAXPROCS workers and returns
+// the first error encountered. Callers write results into index-addressed
+// slots, so table output stays deterministic regardless of scheduling.
+// Experiment runs are independent simulations sharing only the Lab's
+// mutex-guarded caches, which callers should pre-warm to avoid duplicate
+// profiling work.
+func runParallel(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,261 @@
+// Package graph provides the graph substrate the rest of the system is built
+// on: edge lists, compressed sparse row (CSR) adjacency, degree statistics,
+// and serialization. It corresponds to the graph loading/finalization layers
+// of the PowerGraph framework the paper builds upon.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. Graphs in this reproduction stay below 2^32
+// vertices (the largest graph in the paper, the social network, has 4.8M).
+type VertexID uint32
+
+// Edge is a directed edge from Src to Dst. Undirected graphs are represented
+// as directed graphs whose algorithms treat edges symmetrically, exactly as
+// PowerGraph's applications do.
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// Graph is an immutable edge-list graph. The zero value is an empty graph.
+type Graph struct {
+	// Name labels the graph in experiment output (e.g. "amazon", "proxy-1.95").
+	Name string
+	// NumVertices is the number of vertices; vertex IDs are 0..NumVertices-1.
+	NumVertices int
+	// Edges holds every directed edge.
+	Edges []Edge
+	// Weights optionally holds per-edge weights (len == len(Edges)).
+	// Nil means unweighted; Weight(i) then reads as 1.
+	Weights []float32
+	// Alpha is the declared or fitted power-law exponent, 0 when unknown.
+	Alpha float64
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// AvgDegree returns |E| / |V| (Eq 6 of the paper), or 0 for an empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumVertices == 0 {
+		return 0
+	}
+	return float64(len(g.Edges)) / float64(g.NumVertices)
+}
+
+// Validate checks structural invariants: all endpoints in range and no
+// self-loops (the paper's generator omits self-loops).
+func (g *Graph) Validate() error {
+	if g.NumVertices < 0 {
+		return fmt.Errorf("graph %q: negative vertex count %d", g.Name, g.NumVertices)
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph %q: %d weights for %d edges", g.Name, len(g.Weights), len(g.Edges))
+	}
+	n := VertexID(g.NumVertices)
+	for i, e := range g.Edges {
+		if e.Src >= n || e.Dst >= n {
+			return fmt.Errorf("graph %q: edge %d (%d->%d) out of range [0,%d)", g.Name, i, e.Src, e.Dst, n)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("graph %q: edge %d is a self-loop at vertex %d", g.Name, i, e.Src)
+		}
+	}
+	return nil
+}
+
+// OutDegrees returns the out-degree of every vertex.
+func (g *Graph) OutDegrees() []int32 {
+	deg := make([]int32, g.NumVertices)
+	for _, e := range g.Edges {
+		deg[e.Src]++
+	}
+	return deg
+}
+
+// InDegrees returns the in-degree of every vertex.
+func (g *Graph) InDegrees() []int32 {
+	deg := make([]int32, g.NumVertices)
+	for _, e := range g.Edges {
+		deg[e.Dst]++
+	}
+	return deg
+}
+
+// TotalDegrees returns in-degree + out-degree per vertex, the degree notion
+// used by the paper's degree-distribution plots and the Hybrid/Ginger cuts.
+func (g *Graph) TotalDegrees() []int32 {
+	deg := make([]int32, g.NumVertices)
+	for _, e := range g.Edges {
+		deg[e.Src]++
+		deg[e.Dst]++
+	}
+	return deg
+}
+
+// MaxDegree returns the maximum total degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := int32(0)
+	for _, d := range g.TotalDegrees() {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return int(maxDeg)
+}
+
+// DegreeHistogram returns (degree, count) pairs sorted by degree for the
+// given degree array, skipping degrees with zero count. This is the data
+// behind the paper's Fig 6 (power-law degree distribution).
+func DegreeHistogram(degrees []int32) (deg []int, count []int64) {
+	m := map[int32]int64{}
+	for _, d := range degrees {
+		m[d]++
+	}
+	deg = make([]int, 0, len(m))
+	for d := range m {
+		deg = append(deg, int(d))
+	}
+	sort.Ints(deg)
+	count = make([]int64, len(deg))
+	for i, d := range deg {
+		count[i] = m[int32(d)]
+	}
+	return deg, count
+}
+
+// CSR is a compressed-sparse-row adjacency structure over a Graph.
+// Neighbors of v occupy Targets[Offsets[v]:Offsets[v+1]] and are sorted,
+// which enables the linear-merge set intersections Triangle Count needs.
+type CSR struct {
+	Offsets []int64
+	Targets []VertexID
+}
+
+// Degree returns the number of neighbors of v in the CSR.
+func (c *CSR) Degree(v VertexID) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}
+
+// Neighbors returns the sorted neighbor slice of v. The slice aliases the
+// CSR's storage and must not be modified.
+func (c *CSR) Neighbors(v VertexID) []VertexID {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// buildCSR constructs adjacency using key/val extractors via counting sort,
+// so construction is O(V + E) and allocation-tight.
+func buildCSR(n int, edges []Edge, key, val func(Edge) VertexID, dedup bool) *CSR {
+	offsets := make([]int64, n+1)
+	for _, e := range edges {
+		offsets[key(e)+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	targets := make([]VertexID, len(edges))
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		k := key(e)
+		targets[cursor[k]] = val(e)
+		cursor[k]++
+	}
+	c := &CSR{Offsets: offsets, Targets: targets}
+	c.sortRows(n)
+	if dedup {
+		c.dedupRows(n)
+	}
+	return c
+}
+
+// sortRows sorts each vertex's neighbor list ascending.
+func (c *CSR) sortRows(n int) {
+	for v := 0; v < n; v++ {
+		row := c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+		if len(row) > 1 {
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		}
+	}
+}
+
+// dedupRows removes duplicate neighbors in each (sorted) row, compacting
+// Targets and rewriting Offsets.
+func (c *CSR) dedupRows(n int) {
+	out := int64(0)
+	newOffsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		start, end := c.Offsets[v], c.Offsets[v+1]
+		newOffsets[v] = out
+		var prev VertexID
+		first := true
+		for i := start; i < end; i++ {
+			t := c.Targets[i]
+			if first || t != prev {
+				c.Targets[out] = t
+				out++
+				prev = t
+				first = false
+			}
+		}
+	}
+	newOffsets[n] = out
+	c.Offsets = newOffsets
+	c.Targets = c.Targets[:out]
+}
+
+// BuildOutCSR builds out-adjacency (neighbors reachable from each source).
+func (g *Graph) BuildOutCSR() *CSR {
+	return buildCSR(g.NumVertices, g.Edges,
+		func(e Edge) VertexID { return e.Src },
+		func(e Edge) VertexID { return e.Dst }, false)
+}
+
+// BuildInCSR builds in-adjacency (sources pointing at each target).
+func (g *Graph) BuildInCSR() *CSR {
+	return buildCSR(g.NumVertices, g.Edges,
+		func(e Edge) VertexID { return e.Dst },
+		func(e Edge) VertexID { return e.Src }, false)
+}
+
+// BuildUndirectedCSR builds symmetric adjacency with duplicate neighbors
+// removed, the view Triangle Count and Coloring operate on.
+func (g *Graph) BuildUndirectedCSR() *CSR {
+	sym := make([]Edge, 0, 2*len(g.Edges))
+	for _, e := range g.Edges {
+		sym = append(sym, e, Edge{Src: e.Dst, Dst: e.Src})
+	}
+	return buildCSR(g.NumVertices, sym,
+		func(e Edge) VertexID { return e.Src },
+		func(e Edge) VertexID { return e.Dst }, true)
+}
+
+// IntersectionSize returns |a ∩ b| for two ascending-sorted neighbor lists,
+// by linear merge. It is the inner loop of Triangle Count.
+func IntersectionSize(a, b []VertexID) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// FootprintBytes estimates the on-disk text footprint of the graph, matching
+// the methodology behind Table II's Footprint column (tab-separated decimal
+// edge list). The constant 13.6 bytes/edge reproduces Table II's
+// bytes-per-edge ratio (e.g. amazon: 46MB / 3.39M edges).
+func (g *Graph) FootprintBytes() int64 {
+	return int64(float64(len(g.Edges)) * 13.6)
+}

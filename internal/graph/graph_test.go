@@ -1,0 +1,366 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"proxygraph/internal/rng"
+)
+
+// diamond returns a small directed test graph:
+//
+//	0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+func diamond() *Graph {
+	return &Graph{
+		Name:        "diamond",
+		NumVertices: 4,
+		Edges: []Edge{
+			{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 0},
+		},
+	}
+}
+
+func randomGraph(t *testing.T, seed uint64, n, m int) *Graph {
+	t.Helper()
+	src := rng.New(seed)
+	g := &Graph{Name: "random", NumVertices: n}
+	for len(g.Edges) < m {
+		u := VertexID(src.Intn(n))
+		v := VertexID(src.Intn(n))
+		if u == v {
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{u, v})
+	}
+	return g
+}
+
+func TestValidateAcceptsGoodGraph(t *testing.T) {
+	if err := diamond().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	g := &Graph{NumVertices: 2, Edges: []Edge{{0, 5}}}
+	if err := g.Validate(); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestValidateRejectsSelfLoop(t *testing.T) {
+	g := &Graph{NumVertices: 3, Edges: []Edge{{1, 1}}}
+	if err := g.Validate(); err == nil {
+		t.Error("expected self-loop error")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := diamond()
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	tot := g.TotalDegrees()
+	wantOut := []int32{2, 1, 1, 1}
+	wantIn := []int32{1, 1, 1, 2}
+	if !reflect.DeepEqual(out, wantOut) {
+		t.Errorf("out degrees = %v, want %v", out, wantOut)
+	}
+	if !reflect.DeepEqual(in, wantIn) {
+		t.Errorf("in degrees = %v, want %v", in, wantIn)
+	}
+	for i := range tot {
+		if tot[i] != out[i]+in[i] {
+			t.Errorf("total degree mismatch at %d", i)
+		}
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := diamond()
+	if got := g.AvgDegree(); got != 5.0/4.0 {
+		t.Errorf("AvgDegree = %v", got)
+	}
+	empty := &Graph{}
+	if empty.AvgDegree() != 0 {
+		t.Error("empty graph AvgDegree should be 0")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	deg, count := DegreeHistogram([]int32{3, 3, 3, 2, 1, 1})
+	wantDeg := []int{1, 2, 3}
+	wantCount := []int64{2, 1, 3}
+	if !reflect.DeepEqual(deg, wantDeg) || !reflect.DeepEqual(count, wantCount) {
+		t.Errorf("histogram = %v/%v, want %v/%v", deg, count, wantDeg, wantCount)
+	}
+}
+
+func TestOutCSR(t *testing.T) {
+	c := diamond().BuildOutCSR()
+	want := map[VertexID][]VertexID{
+		0: {1, 2}, 1: {3}, 2: {3}, 3: {0},
+	}
+	for v, neighbors := range want {
+		if got := c.Neighbors(v); !reflect.DeepEqual(got, neighbors) {
+			t.Errorf("out neighbors of %d = %v, want %v", v, got, neighbors)
+		}
+		if c.Degree(v) != len(neighbors) {
+			t.Errorf("degree of %d = %d", v, c.Degree(v))
+		}
+	}
+}
+
+func TestInCSR(t *testing.T) {
+	c := diamond().BuildInCSR()
+	want := map[VertexID][]VertexID{
+		0: {3}, 1: {0}, 2: {0}, 3: {1, 2},
+	}
+	for v, neighbors := range want {
+		if got := c.Neighbors(v); !reflect.DeepEqual(got, neighbors) {
+			t.Errorf("in neighbors of %d = %v, want %v", v, got, neighbors)
+		}
+	}
+}
+
+func TestUndirectedCSRDedup(t *testing.T) {
+	// Both (0,1) and (1,0) present: undirected view should list each
+	// neighbor once.
+	g := &Graph{NumVertices: 3, Edges: []Edge{{0, 1}, {1, 0}, {1, 2}}}
+	c := g.BuildUndirectedCSR()
+	want := map[VertexID][]VertexID{
+		0: {1}, 1: {0, 2}, 2: {1},
+	}
+	for v, neighbors := range want {
+		if got := c.Neighbors(v); !reflect.DeepEqual(got, neighbors) {
+			t.Errorf("undirected neighbors of %d = %v, want %v", v, got, neighbors)
+		}
+	}
+}
+
+func TestCSRRowsSorted(t *testing.T) {
+	g := randomGraph(t, 1, 200, 3000)
+	for _, c := range []*CSR{g.BuildOutCSR(), g.BuildInCSR(), g.BuildUndirectedCSR()} {
+		for v := 0; v < g.NumVertices; v++ {
+			row := c.Neighbors(VertexID(v))
+			if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i] < row[j] }) {
+				t.Fatalf("row %d not sorted: %v", v, row)
+			}
+		}
+	}
+}
+
+func TestCSREdgeConservation(t *testing.T) {
+	g := randomGraph(t, 2, 100, 2000)
+	out := g.BuildOutCSR()
+	in := g.BuildInCSR()
+	if len(out.Targets) != len(g.Edges) || len(in.Targets) != len(g.Edges) {
+		t.Errorf("CSR target counts %d/%d, want %d", len(out.Targets), len(in.Targets), len(g.Edges))
+	}
+	// Sum of degrees equals edge count.
+	sum := 0
+	for v := 0; v < g.NumVertices; v++ {
+		sum += out.Degree(VertexID(v))
+	}
+	if sum != len(g.Edges) {
+		t.Errorf("sum of out-degrees %d != %d", sum, len(g.Edges))
+	}
+}
+
+func TestIntersectionSize(t *testing.T) {
+	cases := []struct {
+		a, b []VertexID
+		want int
+	}{
+		{nil, nil, 0},
+		{[]VertexID{1, 2, 3}, nil, 0},
+		{[]VertexID{1, 2, 3}, []VertexID{2, 3, 4}, 2},
+		{[]VertexID{1, 5, 9}, []VertexID{2, 6, 10}, 0},
+		{[]VertexID{1, 2, 3}, []VertexID{1, 2, 3}, 3},
+		{[]VertexID{1}, []VertexID{1}, 1},
+	}
+	for _, c := range cases {
+		if got := IntersectionSize(c.a, c.b); got != c.want {
+			t.Errorf("IntersectionSize(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntersectionSizeProperty(t *testing.T) {
+	// Property: merge intersection equals map-based intersection.
+	f := func(rawA, rawB []uint16) bool {
+		a := make([]VertexID, 0, len(rawA))
+		for _, v := range rawA {
+			a = append(a, VertexID(v%100))
+		}
+		b := make([]VertexID, 0, len(rawB))
+		for _, v := range rawB {
+			b = append(b, VertexID(v%100))
+		}
+		a, b = dedupSorted(a), dedupSorted(b)
+		set := map[VertexID]bool{}
+		for _, v := range a {
+			set[v] = true
+		}
+		want := 0
+		for _, v := range b {
+			if set[v] {
+				want++
+			}
+		}
+		return IntersectionSize(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSorted(v []VertexID) []VertexID {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := randomGraph(t, 3, 50, 500)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != g.NumVertices && got.NumVertices > g.NumVertices {
+		t.Errorf("vertices = %d, want <= %d", got.NumVertices, g.NumVertices)
+	}
+	if !reflect.DeepEqual(got.Edges, g.Edges) {
+		t.Error("edges differ after text round trip")
+	}
+}
+
+func TestTextDeclaredNodeCount(t *testing.T) {
+	in := "# Nodes: 10 Edges: 1\n0\t1\n"
+	g, err := ReadText(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 10 {
+		t.Errorf("NumVertices = %d, want 10 from declaration", g.NumVertices)
+	}
+}
+
+func TestTextRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"0\n", "a\tb\n", "1\tx\n"} {
+		if _, err := ReadText(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("input %q: expected parse error", in)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(t, 4, 64, 1000)
+	g.Alpha = 2.17
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices != g.NumVertices || got.Alpha != g.Alpha {
+		t.Errorf("header mismatch: %d/%v vs %d/%v", got.NumVertices, got.Alpha, g.NumVertices, g.Alpha)
+	}
+	if !reflect.DeepEqual(got.Edges, g.Edges) {
+		t.Error("edges differ after binary round trip")
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewBufferString("NOPE....")); err == nil {
+		t.Error("expected magic error")
+	}
+}
+
+func TestBinaryRejectsTruncated(t *testing.T) {
+	g := randomGraph(t, 5, 16, 50)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewBuffer(trunc)); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(t, 6, 32, 200)
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Edges, g.Edges) {
+			t.Errorf("%s: edges differ", name)
+		}
+	}
+}
+
+func TestFootprintBytesMatchesTableII(t *testing.T) {
+	// amazon: 3,387,388 edges, Table II footprint 46MB.
+	g := &Graph{NumVertices: 403394, Edges: make([]Edge, 0)}
+	got := float64(3387388) * 13.6 / (1 << 20)
+	if got < 40 || got > 50 {
+		t.Errorf("footprint model gives %.1f MB for amazon, want ~46", got)
+	}
+	_ = g
+}
+
+func BenchmarkBuildOutCSR(b *testing.B) {
+	src := rng.New(1)
+	const n, m = 100000, 1000000
+	g := &Graph{NumVertices: n, Edges: make([]Edge, m)}
+	for i := range g.Edges {
+		g.Edges[i] = Edge{VertexID(src.Intn(n)), VertexID(src.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BuildOutCSR()
+	}
+}
+
+func TestBinaryRejectsLyingHeader(t *testing.T) {
+	// A header claiming 2^60 edges with no payload must error cleanly, not
+	// attempt a giant allocation.
+	var buf bytes.Buffer
+	buf.WriteString("PGX1")
+	hdr := make([]byte, 20)
+	hdr[4] = 0
+	// edge count = 1<<60
+	for i := range hdr {
+		hdr[i] = 0
+	}
+	hdr[11] = 0x10 // little-endian byte 7 of the count field (offset 4..11)
+	buf.Write(hdr)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("expected error for lying header")
+	}
+}

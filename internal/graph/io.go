@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Text format: one "src<TAB>dst" pair per line, '#'-prefixed comment lines
+// ignored — the SNAP edge-list format used by the paper's input graphs.
+//
+// Binary format: little-endian; magic "PGX1", uint32 vertex count,
+// uint64 edge count, float64 alpha, then (uint32 src, uint32 dst) pairs.
+
+// WriteText writes the graph as a SNAP-style tab-separated edge list.
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# Nodes: %d Edges: %d\n", g.NumVertices, len(g.Edges)); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 32)
+	for _, e := range g.Edges {
+		buf = buf[:0]
+		buf = strconv.AppendUint(buf, uint64(e.Src), 10)
+		buf = append(buf, '\t')
+		buf = strconv.AppendUint(buf, uint64(e.Dst), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a SNAP-style edge list. The vertex count is
+// max(endpoint)+1 unless a "# Nodes: N" comment declares a larger one.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &Graph{}
+	declared := -1
+	maxID := int64(-1)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if n, ok := parseNodesComment(text); ok {
+				declared = n
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %v", line, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %v", line, fields[1], err)
+		}
+		if int64(src) > maxID {
+			maxID = int64(src)
+		}
+		if int64(dst) > maxID {
+			maxID = int64(dst)
+		}
+		g.Edges = append(g.Edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	g.NumVertices = int(maxID + 1)
+	if declared > g.NumVertices {
+		g.NumVertices = declared
+	}
+	return g, nil
+}
+
+func parseNodesComment(text string) (int, bool) {
+	fields := strings.Fields(text)
+	for i := 0; i+1 < len(fields); i++ {
+		if fields[i] == "Nodes:" {
+			if n, err := strconv.Atoi(fields[i+1]); err == nil {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+const binaryMagic = "PGX1"
+
+// WriteBinary writes the compact binary representation.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(g.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(g.Edges)))
+	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(g.Alpha))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 8)
+	for _, e := range g.Edges {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.Src))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.Dst))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q, want %q", magic, binaryMagic)
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	g := &Graph{
+		NumVertices: int(binary.LittleEndian.Uint32(hdr[0:])),
+		Alpha:       math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:])),
+	}
+	numEdges := binary.LittleEndian.Uint64(hdr[4:])
+	// Grow in bounded chunks rather than trusting the header count: a
+	// corrupt header must produce a clean error, not a huge allocation.
+	const chunk = 1 << 20
+	prealloc := numEdges
+	if prealloc > chunk {
+		prealloc = chunk
+	}
+	g.Edges = make([]Edge, 0, prealloc)
+	rec := make([]byte, 8)
+	for i := uint64(0); i < numEdges; i++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d of %d: %w", i, numEdges, err)
+		}
+		g.Edges = append(g.Edges, Edge{
+			Src: VertexID(binary.LittleEndian.Uint32(rec[0:])),
+			Dst: VertexID(binary.LittleEndian.Uint32(rec[4:])),
+		})
+	}
+	return g, nil
+}
+
+// WriteFile writes the graph to path, selecting the format by extension:
+// ".bin" for the compact binary format, ".adj" for adjacency lists, and the
+// SNAP text edge list otherwise. A trailing ".gz" transparently compresses.
+func WriteFile(path string, g *Graph) error {
+	w, err := openWriter(path)
+	if err != nil {
+		return err
+	}
+	switch formatOf(path) {
+	case "bin":
+		err = WriteBinary(w, g)
+	case "adj":
+		err = WriteAdjacency(w, g)
+	default:
+		err = WriteText(w, g)
+	}
+	if err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReadFile reads a graph from path, selecting the format by extension as in
+// WriteFile (".gz" is transparently decompressed). The graph's Name is left
+// empty for the caller to set.
+func ReadFile(path string) (*Graph, error) {
+	r, err := openReader(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	switch formatOf(path) {
+	case "bin":
+		return ReadBinary(r)
+	case "adj":
+		return ReadAdjacency(r)
+	default:
+		return ReadText(r)
+	}
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+
+	"proxygraph/internal/rng"
+)
+
+// This file holds graph transformations: reversal, undirected
+// materialization, subsampling and induced subgraphs. Subsampling exists
+// mainly to demonstrate the paper's motivating claim that "it is difficult
+// to subsample from a natural graph to capture its underlying
+// characteristics" (Section I) — package core's SubsampleProfiler builds on
+// it and the ablation in internal/exp quantifies how badly it estimates
+// CCRs compared to synthetic proxies.
+
+// Reverse returns a copy of g with every edge direction flipped.
+func Reverse(g *Graph) *Graph {
+	out := &Graph{
+		Name:        g.Name + "-reversed",
+		NumVertices: g.NumVertices,
+		Alpha:       g.Alpha,
+		Edges:       make([]Edge, len(g.Edges)),
+	}
+	for i, e := range g.Edges {
+		out.Edges[i] = Edge{Src: e.Dst, Dst: e.Src}
+	}
+	if g.Weights != nil {
+		out.Weights = append([]float32(nil), g.Weights...)
+	}
+	return out
+}
+
+// Undirected returns a copy of g with both orientations of every edge
+// (weights duplicated), the materialized form of the undirected view.
+func Undirected(g *Graph) *Graph {
+	out := &Graph{
+		Name:        g.Name + "-undirected",
+		NumVertices: g.NumVertices,
+		Alpha:       g.Alpha,
+		Edges:       make([]Edge, 0, 2*len(g.Edges)),
+	}
+	if g.Weights != nil {
+		out.Weights = make([]float32, 0, 2*len(g.Weights))
+	}
+	for i, e := range g.Edges {
+		out.Edges = append(out.Edges, e, Edge{Src: e.Dst, Dst: e.Src})
+		if g.Weights != nil {
+			out.Weights = append(out.Weights, g.Weights[i], g.Weights[i])
+		}
+	}
+	return out
+}
+
+// SampleEdges returns a uniform random sample keeping approximately fraction
+// of g's edges, with the vertex set unchanged. Edge sampling preserves the
+// vertex count but thins every neighborhood, so the sample's degree
+// distribution — and therefore its computational profile — diverges from the
+// original (the paper's argument against profiling with subsampled inputs).
+func SampleEdges(g *Graph, fraction float64, seed uint64) (*Graph, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("graph: sample fraction %v outside (0, 1]", fraction)
+	}
+	src := rng.New(seed)
+	out := &Graph{
+		Name:        fmt.Sprintf("%s-sample%.3f", g.Name, fraction),
+		NumVertices: g.NumVertices,
+		Alpha:       0, // the sample's alpha differs from the original's
+	}
+	for i, e := range g.Edges {
+		if src.Float64() < fraction {
+			out.Edges = append(out.Edges, e)
+			if g.Weights != nil {
+				out.Weights = append(out.Weights, g.Weights[i])
+			}
+		}
+	}
+	return out, nil
+}
+
+// InducedSubgraph returns the subgraph induced by keeping the first
+// keepVertices vertex IDs: edges with both endpoints below the cutoff
+// survive, and the vertex set shrinks. ID-prefix induction is the natural
+// "take the older part of the graph" sample for citation-like graphs.
+func InducedSubgraph(g *Graph, keepVertices int) (*Graph, error) {
+	if keepVertices <= 0 || keepVertices > g.NumVertices {
+		return nil, fmt.Errorf("graph: keepVertices %d outside [1, %d]", keepVertices, g.NumVertices)
+	}
+	out := &Graph{
+		Name:        fmt.Sprintf("%s-induced%d", g.Name, keepVertices),
+		NumVertices: keepVertices,
+	}
+	cut := VertexID(keepVertices)
+	for i, e := range g.Edges {
+		if e.Src < cut && e.Dst < cut {
+			out.Edges = append(out.Edges, e)
+			if g.Weights != nil {
+				out.Weights = append(out.Weights, g.Weights[i])
+			}
+		}
+	}
+	return out, nil
+}
+
+// AttachWeights assigns deterministic pseudo-random edge weights in
+// [minW, maxW), enabling the weighted applications (SSSP). It returns g.
+func AttachWeights(g *Graph, minW, maxW float32, seed uint64) *Graph {
+	if maxW < minW {
+		minW, maxW = maxW, minW
+	}
+	src := rng.New(seed)
+	g.Weights = make([]float32, len(g.Edges))
+	span := maxW - minW
+	for i := range g.Weights {
+		g.Weights[i] = minW + float32(src.Float64())*span
+	}
+	return g
+}
+
+// Weight returns edge i's weight, defaulting to 1 for unweighted graphs.
+func (g *Graph) Weight(i int) float32 {
+	if g.Weights == nil {
+		return 1
+	}
+	return g.Weights[i]
+}

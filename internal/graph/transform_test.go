@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"proxygraph/internal/rng"
+)
+
+func weightedDiamond() *Graph {
+	g := diamond()
+	AttachWeights(g, 1, 10, 1)
+	return g
+}
+
+func TestReverse(t *testing.T) {
+	g := weightedDiamond()
+	r := Reverse(g)
+	if r.NumVertices != g.NumVertices || len(r.Edges) != len(g.Edges) {
+		t.Fatal("reverse changed sizes")
+	}
+	for i, e := range g.Edges {
+		if r.Edges[i].Src != e.Dst || r.Edges[i].Dst != e.Src {
+			t.Fatalf("edge %d not reversed", i)
+		}
+		if r.Weights[i] != g.Weights[i] {
+			t.Fatalf("edge %d weight lost", i)
+		}
+	}
+	// Double reversal is the identity on edges.
+	rr := Reverse(r)
+	for i := range g.Edges {
+		if rr.Edges[i] != g.Edges[i] {
+			t.Fatal("double reverse not identity")
+		}
+	}
+}
+
+func TestUndirectedMaterialization(t *testing.T) {
+	g := weightedDiamond()
+	u := Undirected(g)
+	if len(u.Edges) != 2*len(g.Edges) {
+		t.Fatalf("undirected has %d edges, want %d", len(u.Edges), 2*len(g.Edges))
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// In-degree of the undirected graph equals total degree of the original.
+	tot := g.TotalDegrees()
+	in := u.InDegrees()
+	for v := range tot {
+		if in[v] != tot[v] {
+			t.Fatalf("vertex %d: undirected in-degree %d != total degree %d", v, in[v], tot[v])
+		}
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	g := randomGraph(t, 20, 500, 20000)
+	AttachWeights(g, 1, 5, 2)
+	s, err := SampleEdges(g, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(s.Edges)) / float64(len(g.Edges))
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Errorf("kept fraction %v, want ~0.25", frac)
+	}
+	if s.NumVertices != g.NumVertices {
+		t.Error("sampling should keep the vertex set")
+	}
+	if len(s.Weights) != len(s.Edges) {
+		t.Error("weights not carried through sampling")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every sampled edge exists in the original (it is a subset).
+	set := map[Edge]bool{}
+	for _, e := range g.Edges {
+		set[e] = true
+	}
+	for _, e := range s.Edges {
+		if !set[e] {
+			t.Fatalf("sampled edge %v not in original", e)
+		}
+	}
+}
+
+func TestSampleEdgesValidation(t *testing.T) {
+	g := diamond()
+	for _, f := range []float64{0, -0.5, 1.5} {
+		if _, err := SampleEdges(g, f, 1); err == nil {
+			t.Errorf("fraction %v should error", f)
+		}
+	}
+	full, err := SampleEdges(g, 1, 1)
+	if err != nil || len(full.Edges) != len(g.Edges) {
+		t.Error("fraction 1 should keep everything")
+	}
+}
+
+func TestSampleChangesDegreeShape(t *testing.T) {
+	// The motivating property: edge sampling thins neighborhoods, so the
+	// sample's average degree drops while the vertex count stays — its
+	// computational profile no longer matches the original.
+	g := randomGraph(t, 21, 300, 9000)
+	s, err := SampleEdges(g, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AvgDegree() > g.AvgDegree()*0.2 {
+		t.Errorf("sample avg degree %v vs original %v: expected ~10x thinner", s.AvgDegree(), g.AvgDegree())
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := randomGraph(t, 22, 100, 2000)
+	sub, err := InducedSubgraph(g, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices != 40 {
+		t.Fatalf("induced vertices = %d", sub.NumVertices)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sub.Edges {
+		if e.Src >= 40 || e.Dst >= 40 {
+			t.Fatalf("edge %v outside induced set", e)
+		}
+	}
+	if _, err := InducedSubgraph(g, 0); err == nil {
+		t.Error("zero keep should error")
+	}
+	if _, err := InducedSubgraph(g, 101); err == nil {
+		t.Error("oversize keep should error")
+	}
+}
+
+func TestAttachWeights(t *testing.T) {
+	g := randomGraph(t, 23, 50, 400)
+	if g.Weight(0) != 1 {
+		t.Error("unweighted graphs default to weight 1")
+	}
+	AttachWeights(g, 2, 8, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Edges {
+		w := g.Weight(i)
+		if w < 2 || w >= 8 {
+			t.Fatalf("weight %v outside [2, 8)", w)
+		}
+	}
+	// Deterministic.
+	h := randomGraph(t, 23, 50, 400)
+	AttachWeights(h, 2, 8, 7)
+	for i := range g.Weights {
+		if g.Weights[i] != h.Weights[i] {
+			t.Fatal("weights not deterministic")
+		}
+	}
+	// Swapped bounds are tolerated.
+	AttachWeights(g, 8, 2, 7)
+	for i := range g.Edges {
+		if g.Weight(i) < 2 || g.Weight(i) >= 8 {
+			t.Fatal("swapped bounds mishandled")
+		}
+	}
+}
+
+func TestValidateWeightsLength(t *testing.T) {
+	g := diamond()
+	g.Weights = []float32{1}
+	if err := g.Validate(); err == nil {
+		t.Error("mismatched weights length should fail validation")
+	}
+}
+
+var _ = rng.New
+
+func TestAdjacencyRoundTrip(t *testing.T) {
+	g := randomGraph(t, 30, 200, 3000)
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d != %d", back.NumEdges(), g.NumEdges())
+	}
+	// The adjacency format groups by source, so compare sorted out-CSRs.
+	a, b := g.BuildOutCSR(), back.BuildOutCSR()
+	for v := 0; v < g.NumVertices; v++ {
+		av, bv := a.Neighbors(VertexID(v)), b.Neighbors(VertexID(v))
+		if len(av) != len(bv) {
+			t.Fatalf("vertex %d: degree %d != %d", v, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("vertex %d neighbor %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestAdjacencyRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"1\n",           // missing degree
+		"1 x\n",         // bad degree
+		"1 2 3\n",       // declared 2 neighbors, found 1
+		"1 1 notanum\n", // bad neighbor
+		"a 1 2\n",       // bad source
+	} {
+		if _, err := ReadAdjacency(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("input %q should error", in)
+		}
+	}
+}
+
+func TestFileFormatsByExtension(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(t, 31, 100, 1200)
+	for _, name := range []string{"g.txt", "g.bin", "g.adj", "g.txt.gz", "g.bin.gz", "g.adj.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.NumEdges() != g.NumEdges() {
+			t.Errorf("%s: edges %d != %d", name, back.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	dir := t.TempDir()
+	g := randomGraph(t, 32, 500, 20000)
+	plain := filepath.Join(dir, "g.txt")
+	zipped := filepath.Join(dir, "g.txt.gz")
+	if err := WriteFile(plain, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(zipped, g); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := os.Stat(plain)
+	zs, _ := os.Stat(zipped)
+	if zs.Size() >= ps.Size() {
+		t.Errorf("gzip file (%d) not smaller than plain (%d)", zs.Size(), ps.Size())
+	}
+}

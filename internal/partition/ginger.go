@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"proxygraph/internal/graph"
+)
+
+// Ginger is the heuristic refinement of Hybrid from PowerLyra, following
+// Fennel (Section II-C1). High-degree vertices are handled exactly as in
+// Hybrid. Each low-degree vertex v is then re-assigned (with its grouped
+// in-edges) to the machine maximizing
+//
+//	score(v, p) = |N_in(v) ∩ V_p| − h_p · b(p)
+//	b(p)        = ½ (|V_p| + |V|/|E| · |E_p|)
+//
+// where V_p, E_p are the vertices and edges already on machine p: affinity
+// to in-neighbors minus a balance penalty. The paper's heterogeneity factor
+// h_p = 1/(CCR share · M) shrinks the penalty for fast machines so they
+// "gain a better score" and absorb proportionally more vertices.
+type Ginger struct {
+	// Threshold is the high-degree cutoff shared with Hybrid.
+	Threshold int32
+	// Gamma scales the balance penalty (1 reproduces PowerLyra's b(p)).
+	Gamma float64
+}
+
+// NewGinger returns the algorithm with default parameters.
+func NewGinger() *Ginger { return &Ginger{Threshold: 100, Gamma: 1} }
+
+// Name implements Partitioner.
+func (*Ginger) Name() string { return "ginger" }
+
+// Partition implements Partitioner.
+func (gp *Ginger) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
+	if err := checkShares(shares, 1); err != nil {
+		return nil, err
+	}
+	m := len(shares)
+	cum := cumulative(shares)
+	inDeg := g.InDegrees()
+	owner := make([]int32, len(g.Edges))
+
+	// Phase 1 (as Hybrid): low-degree in-edges group with the target,
+	// high-degree in-edges scatter by source hash.
+	assign := make([]int32, g.NumVertices) // low-degree vertex -> machine
+	for v := range assign {
+		assign[v] = pick(cum, vertexHash(seed, graph.VertexID(v)))
+	}
+
+	// Phase 2: greedily re-place each low-degree vertex by the Fennel-style
+	// score over its in-neighborhood. Vertices are visited in ID order;
+	// vCount/eCount track the evolving per-machine loads.
+	inCSR := g.BuildInCSR()
+	vCount := make([]float64, m)
+	eCount := make([]float64, m)
+	for v := range assign {
+		vCount[assign[v]]++
+		eCount[assign[v]] += float64(inDeg[v])
+	}
+	ratio := 0.0
+	if len(g.Edges) > 0 {
+		ratio = float64(g.NumVertices) / float64(len(g.Edges))
+	}
+	hetFactor := make([]float64, m)
+	for p := range hetFactor {
+		hetFactor[p] = 1 / (shares[p] * float64(m))
+	}
+
+	neighborCount := make([]float64, m)
+	for v := 0; v < g.NumVertices; v++ {
+		if inDeg[v] > gp.Threshold {
+			continue
+		}
+		vid := graph.VertexID(v)
+		cur := assign[v]
+		// Remove v from its current machine while scoring (self-exclusion).
+		vCount[cur]--
+		eCount[cur] -= float64(inDeg[v])
+
+		for p := range neighborCount {
+			neighborCount[p] = 0
+		}
+		for _, u := range inCSR.Neighbors(vid) {
+			if inDeg[u] <= gp.Threshold {
+				neighborCount[assign[u]]++
+			}
+		}
+		best := int32(0)
+		bestScore := 0.0
+		for p := 0; p < m; p++ {
+			balance := 0.5 * gp.Gamma * (vCount[p] + ratio*eCount[p])
+			score := neighborCount[p] - hetFactor[p]*balance
+			if p == 0 || score > bestScore {
+				best, bestScore = int32(p), score
+			}
+		}
+		assign[v] = best
+		vCount[best]++
+		eCount[best] += float64(inDeg[v])
+	}
+
+	for i, e := range g.Edges {
+		if inDeg[e.Dst] > gp.Threshold {
+			owner[i] = pick(cum, vertexHash(seed+1, e.Src))
+		} else {
+			owner[i] = assign[e.Dst]
+		}
+	}
+	return owner, nil
+}

@@ -1,0 +1,85 @@
+package partition
+
+import (
+	"proxygraph/internal/graph"
+)
+
+// HDRF is the High-Degree (are) Replicated First streaming vertex-cut of
+// Petroni et al. (CIKM 2015) — an extension beyond the paper's five
+// algorithms, included as a stronger replication-minimizing baseline. For
+// each edge it prefers replicating the endpoint whose (partial) degree is
+// higher, since hubs will be replicated anyway:
+//
+//	score(p) = C_rep(p) + Lambda · C_bal(p)
+//	C_rep(p) = g(u, p) + g(v, p)
+//	g(u, p)  = 1 + (1 − θ(u))   if machine p already hosts u, else 0
+//	θ(u)     = δ(u) / (δ(u) + δ(v))   (partial-degree fraction)
+//	C_bal(p) = (maxLoad − load(p)) / (1 + maxLoad − minLoad)
+//
+// The heterogeneity-aware extension applies the same trick as the paper's
+// Section II: loads are normalized by the machines' CCR shares, so "least
+// loaded" means furthest below the CCR target.
+type HDRF struct {
+	// Lambda weights the balance term (Petroni et al. default 1).
+	Lambda float64
+}
+
+// NewHDRF returns the algorithm with the published default.
+func NewHDRF() *HDRF { return &HDRF{Lambda: 1} }
+
+// Name implements Partitioner.
+func (*HDRF) Name() string { return "hdrf" }
+
+// Partition implements Partitioner.
+func (h *HDRF) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
+	if err := checkShares(shares, 1); err != nil {
+		return nil, err
+	}
+	m := len(shares)
+	placed := make([]uint64, g.NumVertices) // replica bitmasks
+	partial := make([]int32, g.NumVertices) // streaming partial degrees
+	load := make([]float64, m)              // share-normalized loads
+	rawLoad := make([]int64, m)
+
+	owner := make([]int32, len(g.Edges))
+	for i, e := range g.Edges {
+		partial[e.Src]++
+		partial[e.Dst]++
+		du, dv := float64(partial[e.Src]), float64(partial[e.Dst])
+		thetaU := du / (du + dv)
+		thetaV := 1 - thetaU
+
+		minLoad, maxLoad := load[0], load[0]
+		for _, l := range load[1:] {
+			if l < minLoad {
+				minLoad = l
+			}
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		best := int32(0)
+		bestScore := -1.0
+		for p := 0; p < m; p++ {
+			rep := 0.0
+			bit := uint64(1) << uint(p)
+			if placed[e.Src]&bit != 0 {
+				rep += 1 + (1 - thetaU)
+			}
+			if placed[e.Dst]&bit != 0 {
+				rep += 1 + (1 - thetaV)
+			}
+			bal := (maxLoad - load[p]) / (1 + maxLoad - minLoad)
+			if score := rep + h.Lambda*bal; score > bestScore {
+				bestScore, best = score, int32(p)
+			}
+		}
+		owner[i] = best
+		rawLoad[best]++
+		// Normalized load: edges relative to the CCR-proportional target.
+		load[best] = float64(rawLoad[best]) / (shares[best] * float64(len(g.Edges)+1))
+		placed[e.Src] |= 1 << uint(best)
+		placed[e.Dst] |= 1 << uint(best)
+	}
+	return owner, nil
+}

@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"proxygraph/internal/gen"
+)
+
+func TestHDRFRegistered(t *testing.T) {
+	if len(WithExtensions()) != 6 {
+		t.Fatalf("extensions registry has %d algorithms, want 6", len(WithExtensions()))
+	}
+	p, err := ByName("hdrf")
+	if err != nil || p.Name() != "hdrf" {
+		t.Fatalf("ByName(hdrf): %v", err)
+	}
+	// The paper's set stays at five.
+	if len(All()) != 5 {
+		t.Error("All() must remain the paper's five algorithms")
+	}
+}
+
+func TestHDRFCoversAndBalances(t *testing.T) {
+	g := testGraph(t, 80, 2000, 20000)
+	const m = 4
+	owner, err := NewHDRF().Partition(g, UniformShares(m), 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := edgeShares(t, g, owner, m)
+	for i, s := range got {
+		if math.Abs(s-0.25) > 0.08 {
+			t.Errorf("machine %d share %.3f, want ~0.25", i, s)
+		}
+	}
+}
+
+func TestHDRFFollowsWeights(t *testing.T) {
+	g := testGraph(t, 82, 2000, 24000)
+	target := []float64{0.1, 0.2, 0.3, 0.4}
+	owner, err := NewHDRF().Partition(g, target, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := edgeShares(t, g, owner, len(target))
+	for i, s := range got {
+		if math.Abs(s-target[i]) > 0.1 {
+			t.Errorf("machine %d share %.3f, target %.3f", i, s, target[i])
+		}
+	}
+}
+
+func TestHDRFBeatsRandomOnReplication(t *testing.T) {
+	// HDRF's selling point: lower replication than hash partitioning on
+	// skewed graphs.
+	g, err := gen.Generate(gen.Spec{
+		Name: "hdrf-skew", Vertices: 3000, Edges: 30000, Kind: gen.KindPowerLaw,
+	}, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 8
+	shares := UniformShares(m)
+	rnd, err := NewRandomHash().Partition(g, shares, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := NewHDRF().Partition(g, shares, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfRnd := replicationFactor(t, g, rnd, m)
+	rfHD := replicationFactor(t, g, hd, m)
+	if rfHD >= rfRnd {
+		t.Errorf("hdrf replication %.3f >= random %.3f", rfHD, rfRnd)
+	}
+}
+
+func TestHDRFValidation(t *testing.T) {
+	g := testGraph(t, 88, 100, 500)
+	if _, err := NewHDRF().Partition(g, []float64{0.2, 0.2}, 1); err == nil {
+		t.Error("non-normalized shares should error")
+	}
+}
+
+func TestHDRFDeterministic(t *testing.T) {
+	g := testGraph(t, 89, 500, 4000)
+	a, err := NewHDRF().Partition(g, UniformShares(3), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHDRF().Partition(g, UniformShares(3), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("hdrf not deterministic")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package partition
+
+import "proxygraph/internal/graph"
+
+// Hybrid is the mixed-cut of PowerLyra (Section II-C): edge-cut for
+// low-degree vertices, vertex-cut for high-degree ones.
+//
+// Phase 1 assigns every edge by a (share-weighted) hash of its target
+// vertex, grouping each vertex's in-edges with it — an edge cut with no
+// mirrors for low-degree vertices. After the scan, vertices whose in-degree
+// exceeds Threshold have their in-edges reassigned by hashing the source
+// vertex, so a high-degree vertex's mirrors are bounded by the number of
+// machines instead of its degree. Both phases use the CCR-weighted hash, the
+// paper's heterogeneity-aware extension ("exactly the same as in the Random
+// Hash method").
+type Hybrid struct {
+	// Threshold is the in-degree above which a vertex is treated as
+	// high-degree (PowerLyra's default is 100).
+	Threshold int32
+}
+
+// NewHybrid returns the algorithm with PowerLyra's default threshold.
+func NewHybrid() *Hybrid { return &Hybrid{Threshold: 100} }
+
+// Name implements Partitioner.
+func (*Hybrid) Name() string { return "hybrid" }
+
+// Partition implements Partitioner.
+func (h *Hybrid) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
+	if err := checkShares(shares, 1); err != nil {
+		return nil, err
+	}
+	cum := cumulative(shares)
+	owner := make([]int32, len(g.Edges))
+	inDeg := g.InDegrees()
+
+	for i, e := range g.Edges {
+		if inDeg[e.Dst] > h.Threshold {
+			// Second pass, folded in: the full scan already gave us exact
+			// in-degrees, so high-degree targets reassign by source hash.
+			owner[i] = pick(cum, vertexHash(seed+1, e.Src))
+		} else {
+			owner[i] = pick(cum, vertexHash(seed, e.Dst))
+		}
+	}
+	return owner, nil
+}

@@ -1,0 +1,67 @@
+package partition
+
+import (
+	"math/bits"
+
+	"proxygraph/internal/graph"
+)
+
+// Oblivious is PowerGraph's greedy streaming vertex-cut (Section II-B2):
+// each edge prefers machines that already host its endpoints, breaking ties
+// toward the least-loaded machine. The heterogeneity-aware extension
+// normalizes each machine's load by its share, so "least loaded" means
+// furthest below its CCR-proportional target.
+type Oblivious struct{}
+
+// NewOblivious returns the algorithm.
+func NewOblivious() *Oblivious { return &Oblivious{} }
+
+// Name implements Partitioner.
+func (*Oblivious) Name() string { return "oblivious" }
+
+// Partition implements Partitioner.
+func (*Oblivious) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
+	if err := checkShares(shares, 1); err != nil {
+		return nil, err
+	}
+	m := len(shares)
+	// placed[v] is the bitmask of machines already hosting a replica of v.
+	placed := make([]uint64, g.NumVertices)
+	load := make([]int64, m)
+
+	owner := make([]int32, len(g.Edges))
+	allMask := uint64(1)<<uint(m) - 1
+	for i, e := range g.Edges {
+		maskU, maskV := placed[e.Src], placed[e.Dst]
+		var candidates uint64
+		switch {
+		case maskU&maskV != 0:
+			// Some machine hosts both endpoints: reuse it (no new mirror).
+			candidates = maskU & maskV
+		case maskU != 0 && maskV != 0:
+			// Both endpoints placed but disjoint: one new mirror either way.
+			candidates = maskU | maskV
+		case maskU != 0:
+			candidates = maskU
+		case maskV != 0:
+			candidates = maskV
+		default:
+			candidates = allMask
+		}
+		best := int32(-1)
+		bestScore := 0.0
+		for mask := candidates; mask != 0; mask &= mask - 1 {
+			p := int32(bits.TrailingZeros64(mask))
+			// Normalized load: edges held relative to the CCR target share.
+			score := float64(load[p]) / shares[p]
+			if best == -1 || score < bestScore {
+				best, bestScore = p, score
+			}
+		}
+		owner[i] = best
+		load[best]++
+		placed[e.Src] |= 1 << uint(best)
+		placed[e.Dst] |= 1 << uint(best)
+	}
+	return owner, nil
+}

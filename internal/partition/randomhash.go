@@ -1,0 +1,29 @@
+package partition
+
+import "proxygraph/internal/graph"
+
+// RandomHash is the baseline vertex-cut of PowerGraph, extended per Section
+// II-B1 of the paper: each edge is assigned by a random hash, with machine
+// pick probabilities weighted by the shares. With uniform shares every
+// machine is equally likely (the original algorithm); with CCR shares the
+// index distribution "strictly follows the CCR".
+type RandomHash struct{}
+
+// NewRandomHash returns the algorithm.
+func NewRandomHash() *RandomHash { return &RandomHash{} }
+
+// Name implements Partitioner.
+func (*RandomHash) Name() string { return "random" }
+
+// Partition implements Partitioner.
+func (*RandomHash) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
+	if err := checkShares(shares, 1); err != nil {
+		return nil, err
+	}
+	cum := cumulative(shares)
+	owner := make([]int32, len(g.Edges))
+	for i, e := range g.Edges {
+		owner[i] = pick(cum, edgeHash(seed, e))
+	}
+	return owner, nil
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"proxygraph/internal/metrics"
+)
+
+func sampleTable() *metrics.Table {
+	t := metrics.NewTable("Speedups", "app", "graph", "speedup")
+	t.AddRow("pagerank", "amazon", "1.45x")
+	t.AddRow("coloring", "wiki", "1.12x")
+	t.AddNote("demo note")
+	return t
+}
+
+func TestParseCell(t *testing.T) {
+	cases := map[string]float64{
+		"1.45x":   1.45,
+		"23.6%":   23.6,
+		"12.41ms": 0.01241,
+		"150µs":   0.00015,
+		"2.50s":   2.5,
+		"0.47":    0.47,
+		"1 : 3.5": 3.5,
+	}
+	for in, want := range cases {
+		got, ok := parseCell(in)
+		if !ok {
+			t.Errorf("parseCell(%q) failed", in)
+			continue
+		}
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("parseCell(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"amazon", "", "n/a", "fast"} {
+		if _, ok := parseCell(in); ok {
+			t.Errorf("parseCell(%q) should fail", in)
+		}
+	}
+}
+
+func TestNumericColumnPicksRightmostNumeric(t *testing.T) {
+	tab := sampleTable()
+	if col := numericColumn(tab); col != 2 {
+		t.Errorf("numericColumn = %d, want 2", col)
+	}
+	// Table with no numeric columns.
+	plain := metrics.NewTable("x", "a", "b")
+	plain.AddRow("one", "two")
+	if col := numericColumn(plain); col != -1 {
+		t.Errorf("numericColumn = %d, want -1", col)
+	}
+}
+
+func TestBarChartRenders(t *testing.T) {
+	chart := string(barChart(sampleTable()))
+	for _, want := range []string{"<svg", "rect", "1.45x", "pagerank"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// Empty and oversized tables yield no chart.
+	empty := metrics.NewTable("x", "a", "v")
+	if barChart(empty) != "" {
+		t.Error("empty table should not chart")
+	}
+	big := metrics.NewTable("x", "a", "v")
+	for i := 0; i < 50; i++ {
+		big.AddRow("row", "1.0x")
+	}
+	if barChart(big) != "" {
+		t.Error("oversized table should not chart")
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	r := New("Demo Report", "scale 1/64, seed 42")
+	r.Add(sampleTable())
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "Demo Report", "scale 1/64", "Speedups",
+		"<th>speedup</th>", "<td>1.45x</td>", "# demo note", "<svg",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestHTMLEscapesContent(t *testing.T) {
+	tab := metrics.NewTable("<script>alert(1)</script>", "a", "v")
+	tab.AddRow("<img>", "2.0x")
+	r := New("t", "s")
+	r.Add(tab)
+	var buf bytes.Buffer
+	if err := r.WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Error("title not escaped")
+	}
+	if strings.Contains(buf.String(), "<td><img></td>") {
+		t.Error("cell not escaped")
+	}
+}

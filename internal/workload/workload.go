@@ -1,0 +1,184 @@
+// Package workload simulates data-center graph-processing sessions: streams
+// of jobs (application × input graph) arriving at a heterogeneous cluster.
+// It operationalizes the paper's Section III-B cost argument — CCR profiling
+// is a one-time offline step whose cost amortizes because "graph
+// applications are often reused to analyze dozens of different real world
+// graphs" — by charging the proxy system its profiling time up front and
+// measuring the cumulative makespan crossover against the default and
+// prior-work systems.
+package workload
+
+import (
+	"fmt"
+
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/partition"
+	"proxygraph/internal/rng"
+)
+
+// Job is one unit of work: run an application over a graph.
+type Job struct {
+	// App is the application to execute.
+	App apps.App
+	// Graph is the input.
+	Graph *graph.Graph
+	// Seed drives the job's partitioning hash.
+	Seed uint64
+}
+
+// RandomJobs draws n jobs over the Table II real-world graphs (at 1/scale)
+// and the paper's four applications, the "dozens of different real world
+// graphs" mix. Graphs are generated once and reused across jobs.
+func RandomJobs(n, scale int, seed uint64) ([]Job, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need a positive job count")
+	}
+	specs := gen.RealGraphs()
+	graphs := make([]*graph.Graph, len(specs))
+	for i, spec := range specs {
+		g, err := gen.Generate(spec.Scale(scale), seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+	}
+	applications := apps.All()
+	src := rng.New(seed ^ 0xfeed)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			App:   applications[src.Intn(len(applications))],
+			Graph: graphs[src.Intn(len(graphs))],
+			Seed:  seed + uint64(i),
+		}
+	}
+	return jobs, nil
+}
+
+// Report summarizes one session under one system.
+type Report struct {
+	// System names the estimator used.
+	System string
+	// ProfilingSeconds is the one-time offline profiling cost in simulated
+	// seconds (zero for configuration-based estimators).
+	ProfilingSeconds float64
+	// JobSeconds holds each job's execution makespan.
+	JobSeconds []float64
+	// CumulativeSeconds[i] is profiling plus the first i+1 jobs.
+	CumulativeSeconds []float64
+	// TotalEnergyJoules sums the jobs' energy.
+	TotalEnergyJoules float64
+}
+
+// Total returns profiling plus all job time.
+func (r *Report) Total() float64 {
+	if len(r.CumulativeSeconds) == 0 {
+		return r.ProfilingSeconds
+	}
+	return r.CumulativeSeconds[len(r.CumulativeSeconds)-1]
+}
+
+// Session executes a job stream on a cluster under a CCR estimator.
+type Session struct {
+	// Cluster receives the jobs.
+	Cluster *cluster.Cluster
+	// Partitioner is the ingress algorithm (default Hybrid).
+	Partitioner partition.Partitioner
+}
+
+// Run executes the jobs. For the proxy profiler, the one-time profiling cost
+// is the simulated wall-clock of the profiling sets: machine groups profile
+// in parallel (Fig 7a), each group running every application over every
+// proxy graph in sequence.
+func (s *Session) Run(jobs []Job, est core.Estimator) (*Report, error) {
+	if s.Cluster == nil {
+		return nil, fmt.Errorf("workload: session has no cluster")
+	}
+	part := s.Partitioner
+	if part == nil {
+		part = partition.NewHybrid()
+	}
+
+	rep := &Report{System: est.Name()}
+	if pp, ok := est.(*core.ProxyProfiler); ok {
+		cost, err := profilingCost(s.Cluster, pp)
+		if err != nil {
+			return nil, err
+		}
+		rep.ProfilingSeconds = cost
+	}
+
+	pool, err := core.BuildPool(s.Cluster, apps.All(), est)
+	if err != nil {
+		return nil, err
+	}
+
+	cumulative := rep.ProfilingSeconds
+	for _, job := range jobs {
+		ccr, ok := pool.Get(job.App.Name())
+		if !ok {
+			return nil, fmt.Errorf("workload: no CCR for %q", job.App.Name())
+		}
+		shares, err := ccr.SharesFor(s.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := partition.Apply(part, job.Graph, shares, job.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := job.App.Run(pl, s.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		rep.JobSeconds = append(rep.JobSeconds, res.SimSeconds)
+		cumulative += res.SimSeconds
+		rep.CumulativeSeconds = append(rep.CumulativeSeconds, cumulative)
+		rep.TotalEnergyJoules += res.EnergyJoules
+	}
+	return rep, nil
+}
+
+// profilingCost charges the proxy profiling flow: each machine group's
+// representative runs every (application, proxy) set standalone; groups run
+// in parallel, so the offline cost is the slowest group's total.
+func profilingCost(cl *cluster.Cluster, pp *core.ProxyProfiler) (float64, error) {
+	reps := cl.Representatives()
+	worst := 0.0
+	for _, idx := range reps {
+		solo, err := cluster.New(cl.Machines[idx])
+		if err != nil {
+			return 0, err
+		}
+		total := 0.0
+		for _, app := range apps.All() {
+			for _, proxy := range pp.Proxies {
+				res, err := app.Run(engine.SingleMachine(proxy), solo)
+				if err != nil {
+					return 0, err
+				}
+				total += res.SimSeconds
+			}
+		}
+		if total > worst {
+			worst = total
+		}
+	}
+	return worst, nil
+}
+
+// Crossover returns the 1-based job index at which a's cumulative time
+// (including profiling) drops below b's, or 0 if it never does.
+func Crossover(a, b *Report) int {
+	for i := range a.CumulativeSeconds {
+		if i < len(b.CumulativeSeconds) && a.CumulativeSeconds[i] < b.CumulativeSeconds[i] {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+	"proxygraph/internal/partition"
+)
+
+func caseTwo(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(
+		cluster.LocalXeon("xeon-4c", 4, 2.5),
+		cluster.LocalXeon("xeon-12c", 12, 2.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestRandomJobsDeterministic(t *testing.T) {
+	a, err := RandomJobs(10, 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomJobs(10, 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 {
+		t.Fatalf("jobs = %d", len(a))
+	}
+	for i := range a {
+		if a[i].App.Name() != b[i].App.Name() || a[i].Graph.Name != b[i].Graph.Name {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+	if _, err := RandomJobs(0, 512, 7); err == nil {
+		t.Error("zero jobs should error")
+	}
+}
+
+func TestSessionProfilingAmortizes(t *testing.T) {
+	cl := caseTwo(t)
+	jobs, err := RandomJobs(30, 256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := &Session{Cluster: cl}
+
+	defaultRep, err := session.Run(jobs, core.Uniform{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proxies profile at a fraction of the production graph size: CCRs are
+	// scale-invariant (see the scale-invariance ablation), so the offline
+	// cost shrinks without losing accuracy.
+	pp, err := core.NewProxyProfiler(1024, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyRep, err := session.Run(jobs, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if defaultRep.ProfilingSeconds != 0 {
+		t.Error("uniform estimator should have no profiling cost")
+	}
+	if proxyRep.ProfilingSeconds <= 0 {
+		t.Error("proxy system must pay an offline profiling cost")
+	}
+	// Per job, proxy must be faster on this heterogeneous cluster.
+	for i := range jobs {
+		if proxyRep.JobSeconds[i] >= defaultRep.JobSeconds[i] {
+			t.Fatalf("job %d: proxy %.5f not faster than default %.5f",
+				i, proxyRep.JobSeconds[i], defaultRep.JobSeconds[i])
+		}
+	}
+	// The one-time cost amortizes: the proxy system's cumulative time must
+	// cross below the default's within the session.
+	cross := Crossover(proxyRep, defaultRep)
+	if cross == 0 {
+		t.Fatalf("profiling never amortized over %d jobs (proxy total %.4f vs default %.4f)",
+			len(jobs), proxyRep.Total(), defaultRep.Total())
+	}
+	t.Logf("profiling cost %.4fs amortized after %d jobs", proxyRep.ProfilingSeconds, cross)
+	if proxyRep.Total() >= defaultRep.Total() {
+		t.Error("proxy session should win in total")
+	}
+	if proxyRep.TotalEnergyJoules >= defaultRep.TotalEnergyJoules {
+		t.Error("proxy session should save energy")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	jobs, err := RandomJobs(1, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Session{}
+	if _, err := s.Run(jobs, core.Uniform{}); err == nil {
+		t.Error("missing cluster should error")
+	}
+}
+
+func TestSessionCustomPartitioner(t *testing.T) {
+	cl := caseTwo(t)
+	jobs, err := RandomJobs(3, 512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Session{Cluster: cl, Partitioner: partition.NewRandomHash()}
+	rep, err := s.Run(jobs, core.NewThreadCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.JobSeconds) != 3 || rep.Total() <= 0 {
+		t.Errorf("report malformed: %+v", rep)
+	}
+	// Cumulative is monotone.
+	prev := 0.0
+	for _, c := range rep.CumulativeSeconds {
+		if c <= prev {
+			t.Fatal("cumulative time not increasing")
+		}
+		prev = c
+	}
+}
+
+func TestCrossoverSemantics(t *testing.T) {
+	a := &Report{CumulativeSeconds: []float64{5, 6, 7}}
+	b := &Report{CumulativeSeconds: []float64{2, 4, 9}}
+	if got := Crossover(a, b); got != 3 {
+		t.Errorf("crossover = %d, want 3", got)
+	}
+	never := &Report{CumulativeSeconds: []float64{9, 10, 11}}
+	if got := Crossover(never, b); got != 0 {
+		t.Errorf("crossover = %d, want 0", got)
+	}
+}

@@ -1,0 +1,419 @@
+// Package proxygraph is a from-scratch reproduction of "Proxy-Guided Load
+// Balancing of Graph Processing Workloads on Heterogeneous Clusters"
+// (ICPP 2016): a PowerGraph-style distributed graph-processing system whose
+// graph ingress is guided by Computation Capability Ratios (CCRs) measured
+// by profiling synthetic power-law proxy graphs on a simulated heterogeneous
+// cluster.
+//
+// This package is the public facade. The typical flow mirrors the paper's
+// Fig 7:
+//
+//	// 1. Build the heterogeneous cluster (Table I machines or custom).
+//	cl, _ := proxygraph.NewCluster(
+//	        proxygraph.MustMachine("m4.2xlarge"),
+//	        proxygraph.MustMachine("c4.2xlarge"))
+//
+//	// 2. One-time offline profiling with synthetic proxy graphs.
+//	profiler, _ := proxygraph.NewProxyProfiler(64, 1) // 1/64 Table II scale
+//	pool, _ := proxygraph.BuildPool(cl, proxygraph.Apps(), profiler)
+//
+//	// 3. Load or generate a graph and run: the CCR picked from the pool
+//	//    weights the partitioner, balancing the barrier times.
+//	g, _ := proxygraph.Generate(proxygraph.Spec{
+//	        Name: "mygraph", Vertices: 100000, Edges: 1200000}, 7)
+//	res, _ := proxygraph.RunPooled(proxygraph.NewPageRank(), g, cl,
+//	        proxygraph.NewHybrid(), pool, 7)
+//
+// Everything the paper evaluates is reproducible through Lab (see
+// bench_test.go and cmd/bench).
+package proxygraph
+
+import (
+	"fmt"
+
+	"proxygraph/internal/advisor"
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+	"proxygraph/internal/dynamic"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/exp"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/metrics"
+	"proxygraph/internal/partition"
+	"proxygraph/internal/powerlaw"
+	"proxygraph/internal/workload"
+)
+
+// --- Graphs ---
+
+// Graph is an immutable edge-list graph (see internal/graph).
+type Graph = graph.Graph
+
+// Edge is a directed edge.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex.
+type VertexID = graph.VertexID
+
+// Spec describes a graph to generate; Kind selects the structural family.
+type Spec = gen.Spec
+
+// Kind selects a generator family (power-law proxy, amazon-like, ...).
+type Kind = gen.Kind
+
+// Generator kinds.
+const (
+	KindPowerLaw = gen.KindPowerLaw
+	KindAmazon   = gen.KindAmazon
+	KindCitation = gen.KindCitation
+	KindSocial   = gen.KindSocial
+	KindWiki     = gen.KindWiki
+	KindRMAT     = gen.KindRMAT
+)
+
+// Generate materializes a graph spec deterministically from seed
+// (Algorithm 1 of the paper for power-law kinds).
+func Generate(spec Spec, seed uint64) (*Graph, error) { return gen.Generate(spec, seed) }
+
+// TableIISpecs returns the paper's seven graphs (four real-world emulations
+// plus three synthetic proxies).
+func TableIISpecs() []Spec { return gen.TableII() }
+
+// RealGraphSpecs returns the four real-world graph specs of Table II.
+func RealGraphSpecs() []Spec { return gen.RealGraphs() }
+
+// ProxyGraphSpecs returns the three synthetic proxy specs of Table II.
+func ProxyGraphSpecs() []Spec { return gen.ProxyGraphs() }
+
+// ReadGraphFile loads a graph from a SNAP-style text edge list or the
+// compact ".bin" format.
+func ReadGraphFile(path string) (*Graph, error) { return graph.ReadFile(path) }
+
+// WriteGraphFile stores a graph, selecting the format by extension.
+func WriteGraphFile(path string, g *Graph) error { return graph.WriteFile(path, g) }
+
+// FitAlpha computes the power-law exponent α of a graph from its vertex and
+// edge counts by solving Eq 7 of the paper with Newton's method.
+func FitAlpha(vertices, edges int64) (float64, error) {
+	return powerlaw.FitAlphaForGraph(vertices, edges)
+}
+
+// --- Machines and clusters ---
+
+// Machine models one compute node (Table I).
+type Machine = cluster.Machine
+
+// Cluster is a set of machines with an interconnect.
+type Cluster = cluster.Cluster
+
+// MachineCatalog returns the Table I machines.
+func MachineCatalog() []Machine { return cluster.Catalog() }
+
+// MachineByName looks up a Table I machine.
+func MachineByName(name string) (Machine, bool) { return cluster.ByName(name) }
+
+// MustMachine looks up a Table I machine and panics if it is unknown;
+// convenient in examples and tests.
+func MustMachine(name string) Machine {
+	m, ok := cluster.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("proxygraph: unknown machine %q", name))
+	}
+	return m
+}
+
+// LocalXeon constructs a physical Xeon-class machine with the given core
+// count and frequency.
+func LocalXeon(name string, cores int, freqGHz float64) Machine {
+	return cluster.LocalXeon(name, cores, freqGHz)
+}
+
+// NewCluster builds a cluster over the machines with the default network.
+func NewCluster(machines ...Machine) (*Cluster, error) { return cluster.New(machines...) }
+
+// --- Applications ---
+
+// App is a runnable graph application.
+type App = apps.App
+
+// Result reports one application execution (simulated time, energy,
+// per-machine loads, and the application output).
+type Result = engine.Result
+
+// Apps returns the paper's four applications (PageRank, Coloring, Connected
+// Components, Triangle Count).
+func Apps() []App { return apps.All() }
+
+// AppsWithExtensions additionally includes the BFS, SSSP and k-core
+// extensions.
+func AppsWithExtensions() []App { return apps.WithExtensions() }
+
+// AppByName returns the named application.
+func AppByName(name string) (App, error) { return apps.ByName(name) }
+
+// NewPageRank returns the PageRank application with PowerGraph defaults.
+func NewPageRank() *apps.PageRank { return apps.NewPageRank() }
+
+// NewColoring returns the asynchronous greedy Coloring application.
+func NewColoring() *apps.Coloring { return apps.NewColoring() }
+
+// NewConnectedComponents returns the label-propagation CC application.
+func NewConnectedComponents() *apps.ConnectedComponents { return apps.NewConnectedComponents() }
+
+// NewTriangleCount returns the Triangle Count application.
+func NewTriangleCount() *apps.TriangleCount { return apps.NewTriangleCount() }
+
+// NewBFS returns the BFS extension application.
+func NewBFS() *apps.BFS { return apps.NewBFS() }
+
+// --- Partitioning ---
+
+// Partitioner assigns every edge to a machine following a share vector.
+type Partitioner = partition.Partitioner
+
+// Placement is a finalized vertex-cut (edge owners, masters, mirrors).
+type Placement = engine.Placement
+
+// Partitioners returns the paper's five algorithms (random, oblivious, grid,
+// hybrid, ginger) with default parameters.
+func Partitioners() []Partitioner { return partition.All() }
+
+// PartitionerByName returns the named algorithm.
+func PartitionerByName(name string) (Partitioner, error) { return partition.ByName(name) }
+
+// NewRandomHash returns the weighted Random Hash vertex-cut.
+func NewRandomHash() *partition.RandomHash { return partition.NewRandomHash() }
+
+// NewOblivious returns the greedy Oblivious vertex-cut.
+func NewOblivious() *partition.Oblivious { return partition.NewOblivious() }
+
+// NewGrid returns the 2D Grid-constrained vertex-cut.
+func NewGrid() *partition.Grid { return partition.NewGrid() }
+
+// NewHybrid returns the Hybrid mixed-cut.
+func NewHybrid() *partition.Hybrid { return partition.NewHybrid() }
+
+// NewGinger returns the Ginger (Fennel-style) mixed-cut.
+func NewGinger() *partition.Ginger { return partition.NewGinger() }
+
+// UniformShares returns equal shares for m machines (the default system).
+func UniformShares(m int) []float64 { return partition.UniformShares(m) }
+
+// NormalizeShares scales positive weights (e.g. raw CCR ratios) to sum to 1.
+func NormalizeShares(weights []float64) ([]float64, error) {
+	return partition.NormalizeShares(weights)
+}
+
+// Partition assigns g's edges across len(shares) machines and finalizes the
+// master/mirror placement.
+func Partition(p Partitioner, g *Graph, shares []float64, seed uint64) (*Placement, error) {
+	return partition.Apply(p, g, shares, seed)
+}
+
+// --- CCR profiling (the paper's contribution) ---
+
+// CCR holds an application's per-machine-group capability ratios (Eq 1).
+type CCR = core.CCR
+
+// Pool is the offline-profiled CCR pool of Fig 7a.
+type Pool = core.Pool
+
+// Estimator produces an application's CCR for a cluster.
+type Estimator = core.Estimator
+
+// NewProxyProfiler generates the paper's three synthetic proxy graphs at
+// 1/scale of their Table II sizes and returns the proxy-profiling estimator
+// (this paper's methodology).
+func NewProxyProfiler(scale int, seed uint64) (*core.ProxyProfiler, error) {
+	return core.NewProxyProfiler(scale, seed)
+}
+
+// NewThreadCountEstimator returns the prior work's estimator: capability
+// proportional to hardware threads minus two reserved for communication.
+func NewThreadCountEstimator() *core.ThreadCount { return core.NewThreadCount() }
+
+// UniformEstimator returns the default system's all-machines-equal estimate.
+func UniformEstimator() Estimator { return core.Uniform{} }
+
+// MeasureCCR measures the ground-truth CCR of app on cl using graph g
+// (one standalone run per machine group).
+func MeasureCCR(cl *Cluster, app App, g *Graph) (CCR, error) {
+	return core.MeasureCCR(cl, app, g)
+}
+
+// BuildPool profiles every application with the estimator and collects the
+// CCRs into a pool.
+func BuildPool(cl *Cluster, applications []App, est Estimator) (*Pool, error) {
+	return core.BuildPool(cl, applications, est)
+}
+
+// --- End-to-end runs ---
+
+// Run partitions g over cl with explicit shares and executes the app.
+func Run(app App, g *Graph, cl *Cluster, p Partitioner, shares []float64, seed uint64) (*Result, error) {
+	pl, err := partition.Apply(p, g, shares, seed)
+	if err != nil {
+		return nil, err
+	}
+	return app.Run(pl, cl)
+}
+
+// RunWithCCR partitions g following the CCR's shares for cl and executes
+// the app — the heterogeneity-aware flow of Fig 7b.
+func RunWithCCR(app App, g *Graph, cl *Cluster, p Partitioner, ccr CCR, seed uint64) (*Result, error) {
+	shares, err := ccr.SharesFor(cl)
+	if err != nil {
+		return nil, err
+	}
+	return Run(app, g, cl, p, shares, seed)
+}
+
+// RunPooled picks the app's CCR from the pool and runs like RunWithCCR.
+func RunPooled(app App, g *Graph, cl *Cluster, p Partitioner, pool *Pool, seed uint64) (*Result, error) {
+	ccr, ok := pool.Get(app.Name())
+	if !ok {
+		return nil, fmt.Errorf("proxygraph: no pooled CCR for application %q", app.Name())
+	}
+	return RunWithCCR(app, g, cl, p, ccr, seed)
+}
+
+// RunUniform partitions g evenly (the default homogeneous assumption) and
+// executes the app.
+func RunUniform(app App, g *Graph, cl *Cluster, p Partitioner, seed uint64) (*Result, error) {
+	return Run(app, g, cl, p, partition.UniformShares(cl.Size()), seed)
+}
+
+// --- Experiments ---
+
+// Lab reproduces the paper's tables and figures (see internal/exp).
+type Lab = exp.Lab
+
+// ExpConfig controls experiment scale and seeds.
+type ExpConfig = exp.Config
+
+// Table is the formatted output of one experiment.
+type Table = metrics.Table
+
+// NewLab creates an experiment lab. A zero config selects the defaults
+// (scale 1/64, seed 42).
+func NewLab(cfg ExpConfig) *Lab { return exp.NewLab(cfg) }
+
+// TableI renders the machine-configuration table.
+func TableI() *Table { return exp.TableI() }
+
+// --- Extensions beyond the paper ---
+
+// NewSSSP returns the weighted single-source shortest-paths extension.
+func NewSSSP() *apps.SSSP { return apps.NewSSSP() }
+
+// NewKCore returns the k-core decomposition extension.
+func NewKCore() *apps.KCore { return apps.NewKCore() }
+
+// NewHDRF returns the HDRF streaming vertex-cut extension.
+func NewHDRF() *partition.HDRF { return partition.NewHDRF() }
+
+// PartitionersWithExtensions returns the paper's five algorithms plus HDRF.
+func PartitionersWithExtensions() []Partitioner { return partition.WithExtensions() }
+
+// NewSubsampleProfiler returns the natural-graph subsampling estimator the
+// paper's introduction argues against; see the abl-subsample experiment for
+// the quantified comparison.
+func NewSubsampleProfiler(reference *Graph, fraction float64, seed uint64) *core.SubsampleProfiler {
+	return core.NewSubsampleProfiler(reference, fraction, seed)
+}
+
+// AttachWeights assigns deterministic pseudo-random edge weights in
+// [minW, maxW), enabling the weighted applications.
+func AttachWeights(g *Graph, minW, maxW float32, seed uint64) *Graph {
+	return graph.AttachWeights(g, minW, maxW, seed)
+}
+
+// SampleEdges returns a uniform edge subsample of g (vertex set unchanged).
+func SampleEdges(g *Graph, fraction float64, seed uint64) (*Graph, error) {
+	return graph.SampleEdges(g, fraction, seed)
+}
+
+// TraceGantt renders a Result's execution trace as an ASCII timeline for
+// straggler analysis.
+func TraceGantt(res *Result, width int) string { return engine.TraceGantt(res, width) }
+
+// StragglerShare returns, per machine, the fraction of phases it straggled.
+func StragglerShare(res *Result) []float64 { return engine.StragglerShare(res) }
+
+// IngressReport breaks down the loading/finalization phase per machine.
+type IngressReport = engine.IngressReport
+
+// Ingress estimates a placement's loading/finalization cost on a cluster.
+func Ingress(pl *Placement, cl *Cluster) (*IngressReport, error) {
+	return engine.Ingress(pl, cl)
+}
+
+// NewMigrator returns a Mizan-style dynamic load balancer (related work [13]
+// of the paper) usable with the RunRebalanced application variants.
+func NewMigrator(seed uint64) *dynamic.Migrator { return dynamic.NewMigrator(seed) }
+
+// Rebalancer is a dynamic load-balancing policy invoked between supersteps.
+type Rebalancer = engine.Rebalancer
+
+// AdvisorRequest parameterizes a cluster-composition recommendation.
+type AdvisorRequest = advisor.Request
+
+// AdvisorSelection is one recommended cluster composition.
+type AdvisorSelection = advisor.Selection
+
+// Advisor objectives.
+const (
+	AdvisorMaxSpeed          = advisor.MaxSpeed
+	AdvisorMaxSpeedPerDollar = advisor.MaxSpeedPerDollar
+)
+
+// MeasureSpeeds profiles machines standalone on the proxy set and returns
+// per-type speeds for RecommendCluster.
+func MeasureSpeeds(machines []Machine, applications []App, profiler *core.ProxyProfiler) (advisor.Speeds, error) {
+	return advisor.MeasureSpeeds(machines, applications, profiler)
+}
+
+// RecommendCluster enumerates machine compositions under the request and
+// returns the best plus the ranked top candidates.
+func RecommendCluster(catalog []Machine, speeds advisor.Speeds, req AdvisorRequest) (AdvisorSelection, []AdvisorSelection, error) {
+	return advisor.Recommend(catalog, speeds, req)
+}
+
+// LoadPoolFile reads a CCR pool JSON written by Pool.SaveFile or
+// cmd/profiler.
+func LoadPoolFile(path string) (*Pool, error) { return core.LoadPoolFile(path) }
+
+// FitAlphaMLE estimates α by maximum likelihood from an observed degree
+// sequence (Clauset-style), complementing the paper's |V|,|E| moment fit.
+func FitAlphaMLE(degrees []int32, dmin int) (float64, error) {
+	return powerlaw.FitAlphaMLE(degrees, dmin)
+}
+
+// FromDegreeSequence generates a graph matching an out-degree sequence (the
+// configuration model) — custom proxies cloned from a measured workload.
+func FromDegreeSequence(name string, degrees []int32, seed uint64) (*Graph, error) {
+	return gen.FromDegreeSequence(name, degrees, seed)
+}
+
+// WorkloadJob is one application × graph unit in a session.
+type WorkloadJob = workload.Job
+
+// WorkloadSession executes job streams on a cluster under a CCR estimator,
+// charging the proxy system's one-time profiling cost (the Section III-B
+// amortization argument).
+type WorkloadSession = workload.Session
+
+// WorkloadReport summarizes one session run.
+type WorkloadReport = workload.Report
+
+// RandomJobs draws a deterministic mixed job stream over the Table II
+// real-world graphs and the paper's four applications.
+func RandomJobs(n, scale int, seed uint64) ([]WorkloadJob, error) {
+	return workload.RandomJobs(n, scale, seed)
+}
+
+// SessionCrossover returns the job index at which a's cumulative time drops
+// below b's (0 = never).
+func SessionCrossover(a, b *WorkloadReport) int { return workload.Crossover(a, b) }
