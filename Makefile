@@ -1,0 +1,21 @@
+# Developer entry points. The repo needs only the Go toolchain.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# check is the pre-merge gate: static analysis plus the race detector over the
+# packages that run goroutines (the destination-sharded engine) or are
+# otherwise concurrency-sensitive.
+check:
+	go vet ./...
+	go test -race ./internal/engine ./internal/partition
+
+# bench runs the engine gather micro-benchmarks whose edges/s trajectory is
+# tracked in BENCH_ENGINE.json.
+bench:
+	go test -run '^$$' -bench 'BenchmarkEngineGather' -benchmem ./internal/engine

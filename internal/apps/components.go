@@ -120,8 +120,9 @@ func (cc *ConnectedComponents) RunRebalanced(pl *engine.Placement, cl *cluster.C
 	return res, nil
 }
 
-// RunParallel is Run on the goroutine-parallel engine; label propagation's
-// min-Sum is exactly associative, so results are bit-identical to Run.
+// RunParallel is Run on the destination-sharded parallel engine; label
+// propagation's min-Sum is exactly associative, so results are bit-identical
+// to Run.
 func (cc *ConnectedComponents) RunParallel(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
 	res, labels, err := engine.RunSyncParallel[uint32, uint32](cc, pl, cl)
 	if err != nil {

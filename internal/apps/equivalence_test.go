@@ -1,0 +1,232 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+)
+
+// This file is the cross-engine equivalence suite ISSUE'd alongside the CSR
+// engine rewrite: five applications run through RunSyncReference (the original
+// edge-list engine kept as executable specification), RunSync (machine-local
+// CSR blocks + hybrid frontier) and RunSyncParallel (destination sharding),
+// and every run must produce byte-identical simulation accounting. Vertex
+// values must match exactly for min/max/integer programs and within 1e-12 for
+// float sums, which may re-associate on sparse supersteps.
+
+// equivGraph is a power-law graph big enough that frontier programs pass
+// through both dense and sparse supersteps.
+func equivGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Generate(gen.Spec{
+		Name: "equiv", Vertices: 1500, Edges: 6000, Kind: gen.KindPowerLaw,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// heteroCluster mixes machine types so per-machine times differ and any
+// misattributed counter shifts the makespan.
+func heteroCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	names := []string{"c4.xlarge", "c4.2xlarge", "c4.8xlarge", "c4.xlarge"}
+	machines := make([]cluster.Machine, len(names))
+	for i, n := range names {
+		m, ok := cluster.ByName(n)
+		if !ok {
+			t.Fatalf("unknown machine %q", n)
+		}
+		machines[i] = m
+	}
+	cl, err := cluster.New(machines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// sameAccounting asserts bitwise equality of everything the simulation
+// charges: no tolerances, the engines must agree to the last bit.
+func sameAccounting(t *testing.T, label string, a, b *engine.Result) {
+	t.Helper()
+	if a.SimSeconds != b.SimSeconds {
+		t.Errorf("%s: SimSeconds %v != %v", label, a.SimSeconds, b.SimSeconds)
+	}
+	if a.Supersteps != b.Supersteps {
+		t.Errorf("%s: Supersteps %d != %d", label, a.Supersteps, b.Supersteps)
+	}
+	if a.Gathers != b.Gathers {
+		t.Errorf("%s: Gathers %v != %v", label, a.Gathers, b.Gathers)
+	}
+	if a.EnergyJoules != b.EnergyJoules {
+		t.Errorf("%s: EnergyJoules %v != %v", label, a.EnergyJoules, b.EnergyJoules)
+	}
+	for p := range a.BusySeconds {
+		if a.BusySeconds[p] != b.BusySeconds[p] {
+			t.Errorf("%s: machine %d BusySeconds %v != %v", label, p, a.BusySeconds[p], b.BusySeconds[p])
+		}
+		if a.CommBytes[p] != b.CommBytes[p] {
+			t.Errorf("%s: machine %d CommBytes %v != %v", label, p, a.CommBytes[p], b.CommBytes[p])
+		}
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Errorf("%s: trace length %d != %d", label, len(a.Trace), len(b.Trace))
+		return
+	}
+	for i := range a.Trace {
+		if a.Trace[i].Barrier != b.Trace[i].Barrier {
+			t.Errorf("%s: step %d barrier %v != %v", label, i, a.Trace[i].Barrier, b.Trace[i].Barrier)
+		}
+	}
+}
+
+// checkEquivalence runs prog through all three engines and compares
+// accounting bitwise and values with eq.
+func checkEquivalence[V, A any](t *testing.T, name string, prog engine.Program[V, A], pl *engine.Placement, cl *cluster.Cluster, eq func(a, b V) bool) {
+	t.Helper()
+
+	refRes, refVals, err := engine.RunSyncReference[V, A](prog, pl, cl)
+	if err != nil {
+		t.Fatalf("%s reference: %v", name, err)
+	}
+	csrRes, csrVals, err := engine.RunSync[V, A](prog, pl, cl)
+	if err != nil {
+		t.Fatalf("%s csr: %v", name, err)
+	}
+	parRes, parVals, err := engine.RunSyncParallel[V, A](prog, pl, cl)
+	if err != nil {
+		t.Fatalf("%s parallel: %v", name, err)
+	}
+
+	sameAccounting(t, name+"/csr", refRes, csrRes)
+	sameAccounting(t, name+"/parallel", refRes, parRes)
+
+	for v := range refVals {
+		if !eq(refVals[v], csrVals[v]) {
+			t.Fatalf("%s/csr: vertex %d value %v != reference %v", name, v, csrVals[v], refVals[v])
+		}
+		if !eq(refVals[v], parVals[v]) {
+			t.Fatalf("%s/parallel: vertex %d value %v != reference %v", name, v, parVals[v], refVals[v])
+		}
+	}
+}
+
+// exact is the comparator for min/max/integer programs.
+func exact[V comparable](a, b V) bool { return a == b }
+
+// floatClose allows 1e-12 relative drift from sparse-superstep
+// re-association of float sums.
+func floatClose(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// hopsProgram is a test-local SSSP over unit weights: float64 distances,
+// gather src+1, Sum = min. Min is exactly associative even on floats, so all
+// three engines must agree bitwise; it exercises the GatherIn + frontier
+// combination none of the shipped apps cover.
+type hopsProgram struct{}
+
+func (hopsProgram) Name() string                { return "hops" }
+func (hopsProgram) Coeffs() engine.CostCoeffs   { return NewBFS().Coeffs() }
+func (hopsProgram) Direction() engine.Direction { return engine.GatherIn }
+func (hopsProgram) ApplyAll() bool              { return false }
+func (hopsProgram) MaxSupersteps() int          { return 500 }
+
+func (hopsProgram) Init(v graph.VertexID, outDeg, inDeg int32) float64 {
+	if v == 0 {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+func (hopsProgram) Gather(src float64) float64 { return src + 1 }
+func (hopsProgram) Sum(a, b float64) float64   { return math.Min(a, b) }
+
+func (hopsProgram) Apply(v graph.VertexID, old, acc float64, hasAcc bool, rt *engine.Runtime) (float64, bool) {
+	if hasAcc && acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// coreState is cascadeProgram's vertex state: the residual degree and whether
+// the vertex has been peeled.
+type coreState struct {
+	deg     int32
+	removed bool
+}
+
+// cascadeProgram peels vertices of residual degree < K, a fixed-k slice of
+// k-core decomposition. Integer sums keep it exact; removals cascade through
+// shrinking frontiers, stressing the sparse path and the dirty-set reset.
+type cascadeProgram struct{ k int32 }
+
+func (cascadeProgram) Name() string                { return "core-cascade" }
+func (cascadeProgram) Coeffs() engine.CostCoeffs   { return NewConnectedComponents().Coeffs() }
+func (cascadeProgram) Direction() engine.Direction { return engine.GatherBoth }
+func (cascadeProgram) ApplyAll() bool              { return false }
+func (cascadeProgram) MaxSupersteps() int          { return 500 }
+
+func (cascadeProgram) Init(v graph.VertexID, outDeg, inDeg int32) coreState {
+	return coreState{deg: outDeg + inDeg}
+}
+
+// Gather: a neighbor that was just peeled contributes one lost degree.
+func (cascadeProgram) Gather(src coreState) int32 {
+	if src.removed {
+		return 1
+	}
+	return 0
+}
+
+func (cascadeProgram) Sum(a, b int32) int32 { return a + b }
+
+// Apply: only the transition into removal signals neighbors, so each peeled
+// vertex is gathered from exactly once.
+func (p cascadeProgram) Apply(v graph.VertexID, old coreState, acc int32, hasAcc bool, rt *engine.Runtime) (coreState, bool) {
+	if old.removed {
+		return old, false
+	}
+	if hasAcc {
+		old.deg -= acc
+	}
+	if old.deg < p.k {
+		old.removed = true
+		return old, true
+	}
+	return old, false
+}
+
+func TestEngineEquivalenceFiveApps(t *testing.T) {
+	old := engine.ParallelShards
+	engine.ParallelShards = 4
+	t.Cleanup(func() { engine.ParallelShards = old })
+
+	g := equivGraph(t)
+	cl := heteroCluster(t)
+	pl := moduloPlacement(t, g, 4)
+
+	t.Run("pagerank", func(t *testing.T) {
+		checkEquivalence[prState, float64](t, "pagerank", NewPageRank(), pl, cl,
+			func(a, b prState) bool { return floatClose(a.rank, b.rank) && a.invOut == b.invOut })
+	})
+	t.Run("components", func(t *testing.T) {
+		checkEquivalence[uint32, uint32](t, "components", NewConnectedComponents(), pl, cl, exact[uint32])
+	})
+	t.Run("bfs", func(t *testing.T) {
+		checkEquivalence[int32, int32](t, "bfs", NewBFS(), pl, cl, exact[int32])
+	})
+	t.Run("hops", func(t *testing.T) {
+		checkEquivalence[float64, float64](t, "hops", hopsProgram{}, pl, cl, exact[float64])
+	})
+	t.Run("core-cascade", func(t *testing.T) {
+		checkEquivalence[coreState, int32](t, "core-cascade", cascadeProgram{k: 3}, pl, cl, exact[coreState])
+	})
+}

@@ -121,9 +121,9 @@ func (pr *PageRank) RunRebalanced(pl *engine.Placement, cl *cluster.Cluster, rb 
 	return res, nil
 }
 
-// RunParallel is Run on the goroutine-parallel engine (one worker per
-// simulated machine); accounting is identical, ranks agree up to
-// floating-point re-association.
+// RunParallel is Run on the destination-sharded parallel engine (workers own
+// disjoint vertex ranges of the shared accumulators); accounting is
+// bit-identical, ranks agree up to floating-point re-association.
 func (pr *PageRank) RunParallel(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
 	res, vals, err := engine.RunSyncParallel[prState, float64](pr, pl, cl)
 	if err != nil {

@@ -93,6 +93,9 @@ type Result struct {
 	CommBytes []float64
 	// Supersteps counts synchronous barriers (0 for pure async runs).
 	Supersteps int
+	// Gathers is the total number of edge gathers charged across the run, the
+	// work measure behind throughput metrics like edges/second.
+	Gathers float64
 	// EnergyJoules is the total cluster energy over the makespan.
 	EnergyJoules float64
 	// Trace records per-phase per-machine timings for straggler analysis
@@ -116,6 +119,7 @@ type Accountant struct {
 	busy       []float64
 	comm       []float64
 	steps      int
+	gathers    float64
 	asyncBusy  []float64 // pending async time per machine, not yet folded
 	asyncDirty bool
 	trace      []StepTiming
@@ -143,6 +147,7 @@ func (a *Accountant) Superstep(counters []StepCounters) {
 	perMachine := make([]float64, len(counters))
 	for p, sc := range counters {
 		m := a.cl.Machines[p]
+		a.gathers += sc.Gathers
 		tCompute := m.ComputeTime(sc.work(a.coeffs))
 		bytes := sc.commBytes(a.coeffs)
 		tComm := a.cl.Net.TransferTime(bytes)
@@ -164,6 +169,7 @@ func (a *Accountant) Async(counters []StepCounters) {
 	perMachine := make([]float64, len(counters))
 	for p, sc := range counters {
 		m := a.cl.Machines[p]
+		a.gathers += sc.Gathers
 		t := math.Max(m.ComputeTime(sc.work(a.coeffs)), a.cl.Net.TransferTime(sc.commBytes(a.coeffs)))
 		a.asyncBusy[p] += t
 		a.busy[p] += m.ComputeTime(sc.work(a.coeffs))
@@ -226,6 +232,7 @@ func (a *Accountant) Finish(app, graphName string, output any) *Result {
 		BusySeconds: a.busy,
 		CommBytes:   a.comm,
 		Supersteps:  a.steps,
+		Gathers:     a.gathers,
 		Trace:       a.trace,
 		Output:      output,
 	}

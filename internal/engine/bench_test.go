@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"testing"
+
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+)
+
+// benchPowerLaw is the dense-workload input: a power-law proxy graph whose
+// hubs stress the destination-grouped sweep.
+func benchPowerLaw(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.Generate(gen.Spec{
+		Name: "bench-pl", Vertices: 20000, Edges: 80000, Kind: gen.KindPowerLaw,
+	}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchRing is the sparse-workload input: a ring with long-range chords, so
+// single-source traversal runs a couple of hundred supersteps with a frontier
+// far below the hybrid threshold — the regime the worklist sweep targets.
+func benchRing() *graph.Graph {
+	const n = 20000
+	g := &graph.Graph{Name: "bench-ring", NumVertices: n}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID((i + 1) % n)})
+	}
+	for i := 0; i < n; i += 100 {
+		g.Edges = append(g.Edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID((i + 97) % n)})
+	}
+	return g
+}
+
+func benchPlacement(b *testing.B, g *graph.Graph) *Placement {
+	b.Helper()
+	pl, err := NewPlacement(g, moduloOwner(g, 4), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl
+}
+
+// unreachedHop is benchSSSPProgram's "no distance yet" sentinel.
+const unreachedHop = ^uint32(0)
+
+// benchSSSPProgram is single-source shortest paths over unit weights:
+// frontier-driven, GatherBoth, exact min accumulator.
+type benchSSSPProgram struct{}
+
+func (benchSSSPProgram) Name() string       { return "bench-sssp" }
+func (benchSSSPProgram) Coeffs() CostCoeffs { return rankProgram{}.Coeffs() }
+func (benchSSSPProgram) Direction() Direction {
+	return GatherBoth
+}
+func (benchSSSPProgram) ApplyAll() bool     { return false }
+func (benchSSSPProgram) MaxSupersteps() int { return 1 << 20 }
+func (benchSSSPProgram) Init(v graph.VertexID, outDeg, inDeg int32) uint32 {
+	if v == 0 {
+		return 0
+	}
+	return unreachedHop
+}
+func (benchSSSPProgram) Gather(src uint32) uint32 {
+	if src == unreachedHop {
+		return unreachedHop
+	}
+	return src + 1
+}
+func (benchSSSPProgram) Sum(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (benchSSSPProgram) Apply(v graph.VertexID, old, acc uint32, has bool, rt *Runtime) (uint32, bool) {
+	if has && acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// runGatherBench measures whole executions of run and reports useful-gather
+// throughput. Gathers is charged identically by every engine (inactive edges
+// never count), so edges/s ratios between the *Reference benchmarks and their
+// counterparts are true speedups on the same work.
+func runGatherBench[V, A any](b *testing.B, prog Program[V, A], pl *Placement,
+	run func(Program[V, A], *Placement) (*Result, []V, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var gathers float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := run(prog, pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gathers += res.Gathers
+	}
+	b.ReportMetric(gathers/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkEngineGatherPageRank(b *testing.B) {
+	pl := benchPlacement(b, benchPowerLaw(b))
+	cl := testCluster(b, "c4.xlarge", "c4.2xlarge", "c4.8xlarge", "c4.xlarge")
+	runGatherBench[float64, float64](b, rankProgram{}, pl,
+		func(p Program[float64, float64], pl *Placement) (*Result, []float64, error) {
+			return RunSync[float64, float64](p, pl, cl)
+		})
+}
+
+func BenchmarkEngineGatherPageRankReference(b *testing.B) {
+	pl := benchPlacement(b, benchPowerLaw(b))
+	cl := testCluster(b, "c4.xlarge", "c4.2xlarge", "c4.8xlarge", "c4.xlarge")
+	runGatherBench[float64, float64](b, rankProgram{}, pl,
+		func(p Program[float64, float64], pl *Placement) (*Result, []float64, error) {
+			return RunSyncReference[float64, float64](p, pl, cl)
+		})
+}
+
+func BenchmarkEngineGatherSSSP(b *testing.B) {
+	pl := benchPlacement(b, benchRing())
+	cl := testCluster(b, "c4.xlarge", "c4.2xlarge", "c4.8xlarge", "c4.xlarge")
+	runGatherBench[uint32, uint32](b, benchSSSPProgram{}, pl,
+		func(p Program[uint32, uint32], pl *Placement) (*Result, []uint32, error) {
+			return RunSync[uint32, uint32](p, pl, cl)
+		})
+}
+
+func BenchmarkEngineGatherSSSPReference(b *testing.B) {
+	pl := benchPlacement(b, benchRing())
+	cl := testCluster(b, "c4.xlarge", "c4.2xlarge", "c4.8xlarge", "c4.xlarge")
+	runGatherBench[uint32, uint32](b, benchSSSPProgram{}, pl,
+		func(p Program[uint32, uint32], pl *Placement) (*Result, []uint32, error) {
+			return RunSyncReference[uint32, uint32](p, pl, cl)
+		})
+}

@@ -31,7 +31,7 @@ func moduloOwner(g *graph.Graph, m int) []int32 {
 	return owner
 }
 
-func testCluster(t *testing.T, names ...string) *cluster.Cluster {
+func testCluster(t testing.TB, names ...string) *cluster.Cluster {
 	t.Helper()
 	machines := make([]cluster.Machine, len(names))
 	for i, n := range names {
@@ -366,6 +366,9 @@ func equalResults(t *testing.T, a, b *Result) {
 	}
 	if a.Supersteps != b.Supersteps {
 		t.Errorf("Supersteps %d != %d", a.Supersteps, b.Supersteps)
+	}
+	if a.Gathers != b.Gathers {
+		t.Errorf("Gathers %v != %v", a.Gathers, b.Gathers)
 	}
 	for p := range a.BusySeconds {
 		if a.BusySeconds[p] != b.BusySeconds[p] {

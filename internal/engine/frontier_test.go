@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"testing"
+
+	"proxygraph/internal/graph"
+)
+
+func TestFrontierSparseLifecycle(t *testing.T) {
+	f := newFrontier(100)
+	if f.count != 0 || f.overflow {
+		t.Fatal("new frontier should be empty and sparse")
+	}
+	f.add(7)
+	f.add(3)
+	f.add(42)
+	if !f.sparse() || f.count != 3 {
+		t.Fatalf("count=%d sparse=%v, want 3/sparse", f.count, f.sparse())
+	}
+	if !f.has(7) || !f.has(3) || !f.has(42) || f.has(8) {
+		t.Fatal("membership wrong")
+	}
+	got := f.sorted()
+	want := []graph.VertexID{3, 7, 42}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+	f.reset()
+	if f.count != 0 || f.has(7) || f.has(3) || f.has(42) {
+		t.Fatal("reset should deactivate everything")
+	}
+}
+
+func TestFrontierDegradesToBitmap(t *testing.T) {
+	const n = 80
+	f := newFrontier(n)
+	// Threshold is n/sparseFrontierDenom + 1 = 11; adding more must overflow.
+	for v := 0; v < n/2; v++ {
+		f.add(graph.VertexID(v))
+	}
+	if f.sparse() {
+		t.Fatalf("frontier with %d/%d vertices should have degraded", n/2, n)
+	}
+	if f.count != n/2 {
+		t.Fatalf("count = %d, want %d", f.count, n/2)
+	}
+	for v := 0; v < n/2; v++ {
+		if !f.has(graph.VertexID(v)) {
+			t.Fatalf("vertex %d lost on overflow", v)
+		}
+	}
+	f.reset()
+	for v := 0; v < n; v++ {
+		if f.has(graph.VertexID(v)) {
+			t.Fatalf("vertex %d survived reset", v)
+		}
+	}
+	if !f.sparse() {
+		t.Fatal("reset should restore sparse mode")
+	}
+}
+
+func TestFrontierFill(t *testing.T) {
+	f := newFrontier(10)
+	f.fill()
+	if f.count != 10 || f.sparse() {
+		t.Fatalf("fill: count=%d sparse=%v", f.count, f.sparse())
+	}
+	for v := 0; v < 10; v++ {
+		if !f.has(graph.VertexID(v)) {
+			t.Fatalf("vertex %d inactive after fill", v)
+		}
+	}
+}

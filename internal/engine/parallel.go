@@ -3,26 +3,43 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sort"
 	"sync"
 
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/graph"
 )
 
-// RunSyncParallel executes a vertex program exactly like RunSync but runs
-// each simulated machine's gather and apply sweeps on its own goroutine —
-// the real parallelism inside one host that mirrors the distributed
-// parallelism being simulated. Gather contributions accumulate in
-// machine-private buffers and merge at the barrier in machine order.
-// All simulation accounting (times, energy, communication) is bit-identical
-// to the sequential engine; vertex values are bit-identical whenever Sum is
-// exactly associative (min, max, integer sums) and agree up to
-// floating-point re-association otherwise — the same contract PowerGraph's
-// own distributed gather offers.
+// ParallelShards overrides RunSyncParallel's worker count when positive; zero
+// (the default) means one worker per available CPU. Worker count never affects
+// results or accounting, only host-side execution speed, so tests set it to
+// exercise multi-shard execution regardless of GOMAXPROCS.
+var ParallelShards int
+
+// span is a half-open range of group indices into one machine's byDst block.
+type span struct{ lo, hi int32 }
+
+// RunSyncParallel executes a vertex program exactly like RunSync but splits
+// each superstep's gather and apply sweeps across destination-sharded
+// workers: every worker owns a disjoint vertex range of the global acc/has
+// arrays (and of the value array during apply), so gather accumulation is
+// merge-free and the engine's memory stays O(|V|) — no per-machine private
+// accumulator copies. Because each machine's destination-grouped edge block
+// is sorted by destination, a worker's share of every machine is a contiguous
+// group range, found once per run by binary search.
 //
-// Memory grows by O(|V|) per machine for the private buffers, the classic
-// space-for-parallelism trade. Dynamic rebalancing is not supported here;
-// use RunSyncRebalanced for that.
+// All simulation accounting (times, energy, communication) is bit-identical
+// to RunSync and RunSyncReference: each per-machine counter is either a sum
+// of exactly-representable integer counts over disjoint worker shards or a
+// max over them, so worker scheduling cannot perturb it. Vertex values are
+// bit-identical to RunSync whenever Sum is exactly associative (min, max,
+// integer sums) and also for float programs on dense supersteps, since each
+// destination's contributions are still summed machine-major in local record
+// order — by the worker that owns the destination.
+//
+// Buffers are allocated once per run and reused across supersteps. Dynamic
+// rebalancing is not supported here; use RunSyncRebalanced for that.
 func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
 	if cl.Size() != pl.M {
 		return nil, nil, fmt.Errorf("engine: placement has %d machines, cluster %d", pl.M, cl.Size())
@@ -38,132 +55,232 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 		vals[v] = prog.Init(graph.VertexID(v), outDeg[v], inDeg[v])
 	}
 
-	// Global accumulators (merged) and per-machine private buffers.
 	acc := make([]A, n)
 	has := make([]bool, n)
-	type workerBuf[A any] struct {
-		acc     []A
-		has     []bool
-		cnt     []int32
-		touched []graph.VertexID // discovery order, for deterministic merge
+
+	applyAll := prog.ApplyAll()
+	both := prog.Direction() == GatherBoth
+	blocks := pl.blocks(both)
+	account := NewAccountant(cl, prog.Coeffs())
+
+	// Destination sharding: vertex ranges balanced by gather-record count,
+	// plus each worker's contiguous group range within every machine's block.
+	W := ParallelShards
+	if W <= 0 {
+		W = runtime.GOMAXPROCS(0)
 	}
-	workers := make([]workerBuf[A], pl.M)
-	for p := range workers {
-		workers[p] = workerBuf[A]{
-			acc: make([]A, n),
-			has: make([]bool, n),
-			cnt: make([]int32, n),
+	if W > n && n > 0 {
+		W = n
+	}
+	if W < 1 {
+		W = 1
+	}
+	bounds := shardBounds(blocks, n, W)
+	spans := make([]span, W*pl.M)
+	for w := 0; w < W; w++ {
+		for p := 0; p < pl.M; p++ {
+			keys := blocks[p].byDst.Keys
+			lo := sort.Search(len(keys), func(i int) bool { return keys[i] >= bounds[w] })
+			hi := sort.Search(len(keys), func(i int) bool { return keys[i] >= bounds[w+1] })
+			spans[w*pl.M+p] = span{lo: int32(lo), hi: int32(hi)}
 		}
 	}
 
-	active := make([]bool, n)
-	nextActive := make([]bool, n)
-	for v := range active {
-		active[v] = true
+	front := newFrontier(n)
+	front.fill()
+	next := newFrontier(n)
+
+	// Per-run scratch, reused across supersteps. workC holds per-(worker,
+	// machine) counter shards merged after each step; dirty[w] lists the
+	// destinations worker w gathered into during a sparse step; nextAdds[w]
+	// collects the vertices worker w activates.
+	counters := make([]StepCounters, pl.M)
+	workC := make([]StepCounters, W*pl.M)
+	changedFlags := make([]bool, W)
+	nextCounts := make([]int, W)
+	dirty := make([][]graph.VertexID, W)
+	nextAdds := make([][]graph.VertexID, W)
+	var (
+		touched  []int64
+		contribs []int32
+	)
+	if !applyAll {
+		// Shared across workers: each destination belongs to exactly one
+		// worker's range, so the stamp arrays see disjoint writes.
+		touched = make([]int64, n)
+		contribs = make([]int32, n)
 	}
-	applyAll := prog.ApplyAll()
-	both := prog.Direction() == GatherBoth
-	account := NewAccountant(cl, prog.Coeffs())
 
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
-		counters := make([]StepCounters, pl.M)
-		changedFlags := make([]bool, pl.M)
+		clear(workC)
+		clear(changedFlags)
+		clear(nextCounts)
 
-		// Gather phase: one goroutine per machine, private accumulation.
+		sparse := !applyAll && front.sparse()
+		var srcs []graph.VertexID
+		var act []bool
+		if sparse {
+			srcs = front.sorted()
+		} else if !applyAll {
+			act = front.bits
+		}
+
+		// Gather phase: worker w accumulates every machine's contributions
+		// into its own destination range — machine-major, so per-destination
+		// Sum order matches the sequential engine — with no merge step.
 		var wg sync.WaitGroup
-		wg.Add(pl.M)
-		for p := 0; p < pl.M; p++ {
-			go func(p int) {
+		wg.Add(W)
+		for w := 0; w < W; w++ {
+			go func(w int) {
 				defer wg.Done()
-				sc := &counters[p]
-				sc.Vertices = float64(len(pl.MasterVerts[p]))
-				wb := &workers[p]
-				gather := func(src, dst graph.VertexID) {
-					a := prog.Gather(vals[src])
-					if wb.has[dst] {
-						wb.acc[dst] = prog.Sum(wb.acc[dst], a)
-					} else {
-						wb.acc[dst] = a
-						wb.has[dst] = true
-						wb.touched = append(wb.touched, dst)
-						if pl.Master[dst] != int32(p) {
-							sc.PartialsOut++
+				bLo, bHi := bounds[w], bounds[w+1]
+				for p := 0; p < pl.M; p++ {
+					wc := &workC[w*pl.M+p]
+					if sparse {
+						blk := &blocks[p].bySrc
+						// Unique per (step, machine); destinations are
+						// worker-disjoint, so the shared stamp arrays race
+						// with no one.
+						stamp := int64(step)*int64(pl.M) + int64(p) + 1
+						for _, s := range srcs {
+							gi := blk.Find(s)
+							if gi < 0 {
+								continue
+							}
+							for _, d := range blk.Group(gi) {
+								if d < bLo || d >= bHi {
+									continue
+								}
+								a := prog.Gather(vals[s])
+								if has[d] {
+									acc[d] = prog.Sum(acc[d], a)
+								} else {
+									acc[d] = a
+									has[d] = true
+									dirty[w] = append(dirty[w], d)
+								}
+								wc.Gathers++
+								if touched[d] != stamp {
+									touched[d] = stamp
+									contribs[d] = 0
+									if pl.Master[d] != int32(p) {
+										wc.PartialsOut++
+									}
+								}
+								contribs[d]++
+								if u := float64(contribs[d]); u > wc.MaxUnit {
+									wc.MaxUnit = u
+								}
+							}
+						}
+						continue
+					}
+					blk := &blocks[p]
+					sp := spans[w*pl.M+p]
+					for gi := sp.lo; gi < sp.hi; gi++ {
+						d := blk.byDst.Keys[gi]
+						var c int32
+						for _, s := range blk.byDst.Group(int(gi)) {
+							if act != nil && !act[s] {
+								continue
+							}
+							gatherInto(prog, vals, acc, has, s, d)
+							c++
+						}
+						if c > 0 {
+							wc.Gathers += float64(c)
+							if blk.remote[gi] {
+								wc.PartialsOut++
+							}
+							if u := float64(c); u > wc.MaxUnit {
+								wc.MaxUnit = u
+							}
 						}
 					}
-					sc.Gathers++
-					wb.cnt[dst]++
-					if u := float64(wb.cnt[dst]); u > sc.MaxUnit {
-						sc.MaxUnit = u
-					}
 				}
-				for _, ei := range pl.LocalEdges[p] {
-					e := g.Edges[ei]
-					if active[e.Src] {
-						gather(e.Src, e.Dst)
-					}
-					if both && active[e.Dst] {
-						gather(e.Dst, e.Src)
-					}
-				}
-			}(p)
+			}(w)
 		}
 		wg.Wait()
 
-		// Merge in machine order: identical Sum ordering to the sequential
-		// engine (machine 0's contributions first, each in edge order).
-		for p := 0; p < pl.M; p++ {
-			wb := &workers[p]
-			for _, v := range wb.touched {
-				if has[v] {
-					acc[v] = prog.Sum(acc[v], wb.acc[v])
-				} else {
-					acc[v] = wb.acc[v]
-					has[v] = true
-				}
-				wb.has[v] = false
-				wb.cnt[v] = 0
-				var zero A
-				wb.acc[v] = zero
-			}
-			wb.touched = wb.touched[:0]
-		}
-
-		// Apply phase: masters are disjoint across machines, so each
-		// machine's sweep writes its own vertices only.
-		wg.Add(pl.M)
-		for p := 0; p < pl.M; p++ {
-			go func(p int) {
+		// Apply phase: worker w applies the masters inside its own vertex
+		// range (attributing counters to each vertex's master machine), so
+		// value writes and next-frontier bits stay disjoint.
+		wg.Add(W)
+		for w := 0; w < W; w++ {
+			go func(w int) {
 				defer wg.Done()
-				sc := &counters[p]
-				for _, v := range pl.MasterVerts[p] {
-					if !applyAll && !has[v] {
-						continue
-					}
-					newVal, changed := prog.Apply(v, vals[v], acc[v], has[v], rt)
-					sc.Applies++
+				apply := func(v graph.VertexID, hasAcc bool) {
+					p := pl.Master[v]
+					wc := &workC[w*pl.M+int(p)]
+					newVal, changed := prog.Apply(v, vals[v], acc[v], hasAcc, rt)
+					wc.Applies++
 					vals[v] = newVal
 					if changed {
-						changedFlags[p] = true
+						changedFlags[w] = true
 						mirrors := bits.OnesCount64(pl.ReplicaMask[v])
 						if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
 							mirrors--
 						}
-						sc.UpdatesOut += float64(mirrors)
+						wc.UpdatesOut += float64(mirrors)
 						if !applyAll {
-							nextActive[v] = true
+							next.bits[v] = true
+							nextAdds[w] = append(nextAdds[w], v)
+							nextCounts[w]++
 						}
 					}
 				}
-			}(p)
+				if sparse {
+					for _, d := range dirty[w] {
+						apply(d, true)
+					}
+					return
+				}
+				for v := bounds[w]; v < bounds[w+1]; v++ {
+					if !applyAll && !has[v] {
+						continue
+					}
+					apply(v, has[v])
+				}
+			}(w)
 		}
 		wg.Wait()
 
+		// Merge the counter shards in worker order: counts are sums of
+		// exactly-representable integers over disjoint destination (or
+		// master) sets, MaxUnit a max over whole per-destination units, so
+		// the merged counters equal the sequential engine's bit for bit.
+		for p := 0; p < pl.M; p++ {
+			sc := &counters[p]
+			*sc = StepCounters{Vertices: float64(len(pl.MasterVerts[p]))}
+			for w := 0; w < W; w++ {
+				wc := &workC[w*pl.M+p]
+				sc.Gathers += wc.Gathers
+				sc.Applies += wc.Applies
+				sc.PartialsOut += wc.PartialsOut
+				sc.UpdatesOut += wc.UpdatesOut
+				if wc.MaxUnit > sc.MaxUnit {
+					sc.MaxUnit = wc.MaxUnit
+				}
+			}
+		}
 		account.Superstep(counters)
 
-		clear(has)
-		clear(acc)
+		// Reset accumulators: O(gathered) after a sparse step.
+		if sparse {
+			var zero A
+			for w := 0; w < W; w++ {
+				for _, d := range dirty[w] {
+					acc[d] = zero
+					has[d] = false
+				}
+				dirty[w] = dirty[w][:0]
+			}
+		} else {
+			clear(has)
+			clear(acc)
+		}
 
 		anyChanged := false
 		for _, c := range changedFlags {
@@ -173,16 +290,26 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 			break
 		}
 		if !applyAll {
-			active, nextActive = nextActive, active
-			clear(nextActive)
-			anyActive := false
-			for _, a := range active {
-				if a {
-					anyActive = true
-					break
+			// Finalize the next frontier from the per-worker activation
+			// lists (bits were set during apply), then swap.
+			total := 0
+			for _, c := range nextCounts {
+				total += c
+			}
+			next.count = total
+			next.list = next.list[:0]
+			next.overflow = total > next.listCap
+			if !next.overflow {
+				for w := 0; w < W; w++ {
+					next.list = append(next.list, nextAdds[w]...)
 				}
 			}
-			if !anyActive {
+			for w := range nextAdds {
+				nextAdds[w] = nextAdds[w][:0]
+			}
+			front, next = next, front
+			next.reset()
+			if front.count == 0 {
 				break
 			}
 		}
@@ -190,4 +317,34 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 
 	res := account.Finish(prog.Name(), g.Name, nil)
 	return res, vals, nil
+}
+
+// shardBounds splits the vertex space into worker ranges balanced by
+// destination-grouped gather records (plus one unit per vertex so masterless
+// stretches still spread), returning workers+1 ascending cut points.
+func shardBounds(blocks []machineBlocks, n, workers int) []graph.VertexID {
+	prefix := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		prefix[v+1] = 1
+	}
+	total := int64(n)
+	for i := range blocks {
+		b := &blocks[i].byDst
+		for gi, k := range b.Keys {
+			sz := int64(b.Offs[gi+1] - b.Offs[gi])
+			prefix[k+1] += sz
+			total += sz
+		}
+	}
+	for v := 0; v < n; v++ {
+		prefix[v+1] += prefix[v]
+	}
+	bounds := make([]graph.VertexID, workers+1)
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		v := sort.Search(n, func(i int) bool { return prefix[i+1] >= target })
+		bounds[w] = graph.VertexID(v)
+	}
+	bounds[workers] = graph.VertexID(n)
+	return bounds
 }

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+
+	"proxygraph/internal/graph"
+)
+
+// withShards forces RunSyncParallel to use w workers for the duration of the
+// test, so destination sharding is exercised even on single-CPU machines.
+func withShards(t *testing.T, w int) {
+	t.Helper()
+	old := ParallelShards
+	ParallelShards = w
+	t.Cleanup(func() { ParallelShards = old })
+}
+
+func TestRunSyncParallelShardedMatchesSequential(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 7} {
+		withShards(t, shards)
+		g := testGraph(31, 120, 1200)
+		owner := moduloOwner(g, 3)
+		pl, err := NewPlacement(g, owner, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := testCluster(t, "c4.xlarge", "c4.2xlarge", "c4.8xlarge")
+
+		seqRes, seqVals, err := RunSync[float64, float64](rankProgram{}, pl, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, parVals, err := RunSyncParallel[float64, float64](rankProgram{}, pl, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, seqRes, parRes)
+		for v := range seqVals {
+			if seqVals[v] != parVals[v] {
+				t.Fatalf("shards=%d vertex %d: parallel %v != sequential %v", shards, v, parVals[v], seqVals[v])
+			}
+		}
+	}
+}
+
+func TestRunSyncParallelShardedFrontier(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		withShards(t, shards)
+		g := testGraph(32, 120, 800)
+		owner := moduloOwner(g, 3)
+		pl, err := NewPlacement(g, owner, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := testCluster(t, "c4.xlarge", "c4.2xlarge", "c4.8xlarge")
+
+		seqRes, seqVals, err := RunSync[uint32, uint32](minProgram{}, pl, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parRes, parVals, err := RunSyncParallel[uint32, uint32](minProgram{}, pl, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalResults(t, seqRes, parRes)
+		for v := range seqVals {
+			if seqVals[v] != parVals[v] {
+				t.Fatalf("shards=%d vertex %d: parallel %d != sequential %d", shards, v, parVals[v], seqVals[v])
+			}
+		}
+	}
+}
+
+func TestShardBoundsCoverAndBalance(t *testing.T) {
+	g := testGraph(33, 60, 400)
+	owner := moduloOwner(g, 3)
+	pl, err := NewPlacement(g, owner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := pl.blocks(false)
+	for _, w := range []int{1, 2, 5} {
+		b := shardBounds(blocks, g.NumVertices, w)
+		if len(b) != w+1 {
+			t.Fatalf("w=%d: got %d bounds", w, len(b))
+		}
+		if b[0] != 0 || b[w] != graph.VertexID(g.NumVertices) {
+			t.Fatalf("w=%d: bounds %v do not cover [0,%d)", w, b, g.NumVertices)
+		}
+		for i := 1; i <= w; i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("w=%d: bounds not ascending: %v", w, b)
+			}
+		}
+	}
+}

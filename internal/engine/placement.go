@@ -14,6 +14,7 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"proxygraph/internal/graph"
 	"proxygraph/internal/rng"
@@ -39,6 +40,80 @@ type Placement struct {
 	Master []int32
 	// MasterVerts[p] lists the vertices mastered on machine p.
 	MasterVerts [][]graph.VertexID
+
+	// Compiled machine-local gather layouts (see machineBlocks). The
+	// in-direction blocks are built at NewPlacement time; the both-direction
+	// blocks double the record count and are compiled on first use.
+	inBlocks   []machineBlocks
+	bothBlocks []machineBlocks
+	bothOnce   sync.Once
+}
+
+// machineBlocks is one machine's compiled gather layout: its local edges
+// expanded into gather records (from, into) and grouped twice.
+//
+// byDst groups records by gather destination, so the engine's dense sweep is
+// a single sequential pass over contiguous [dst | src...] runs with no
+// indirection through g.Edges, and the per-destination bookkeeping the
+// accountant needs (contributions per destination, one partial per remote
+// master) falls out of the group boundaries for free. Records within a group
+// keep local-edge order, so per-destination Sum order — and therefore
+// floating-point results — is bit-identical to a walk of LocalEdges.
+//
+// bySrc groups the same records by gather source, giving the sparse-frontier
+// sweep O(log K) lookup of an active vertex's local records so supersteps
+// with small frontiers skip inactive edges entirely.
+type machineBlocks struct {
+	byDst graph.Grouped
+	bySrc graph.Grouped
+	// remote[i] reports that byDst.Keys[i]'s master is on another machine,
+	// precomputing the PartialsOut test of the gather hot loop.
+	remote []bool
+}
+
+// compileBlocks expands machine p's local edges into gather records for the
+// given direction and groups them. For GatherIn each edge (u,v) yields one
+// record v←u; for GatherBoth it yields v←u then u←v, matching the reference
+// engine's per-edge gather order so stable grouping preserves per-destination
+// accumulation order exactly.
+func (pl *Placement) compileBlocks(both bool) []machineBlocks {
+	scratch := make([]int32, pl.G.NumVertices)
+	blocks := make([]machineBlocks, pl.M)
+	var dstKeys, srcKeys, dstVals, srcVals []graph.VertexID
+	for p := range blocks {
+		dstKeys, dstVals = dstKeys[:0], dstVals[:0]
+		srcKeys, srcVals = srcKeys[:0], srcVals[:0]
+		for _, ei := range pl.LocalEdges[p] {
+			e := pl.G.Edges[ei]
+			dstKeys = append(dstKeys, e.Dst)
+			dstVals = append(dstVals, e.Src)
+			srcKeys = append(srcKeys, e.Src)
+			srcVals = append(srcVals, e.Dst)
+			if both {
+				dstKeys = append(dstKeys, e.Src)
+				dstVals = append(dstVals, e.Dst)
+				srcKeys = append(srcKeys, e.Dst)
+				srcVals = append(srcVals, e.Src)
+			}
+		}
+		b := &blocks[p]
+		b.byDst = graph.GroupPairs(dstKeys, dstVals, scratch)
+		b.bySrc = graph.GroupPairs(srcKeys, srcVals, scratch)
+		b.remote = make([]bool, len(b.byDst.Keys))
+		for i, d := range b.byDst.Keys {
+			b.remote[i] = pl.Master[d] != int32(p)
+		}
+	}
+	return blocks
+}
+
+// blocks returns the compiled gather layout for the requested direction.
+func (pl *Placement) blocks(both bool) []machineBlocks {
+	if !both {
+		return pl.inBlocks
+	}
+	pl.bothOnce.Do(func() { pl.bothBlocks = pl.compileBlocks(true) })
+	return pl.bothBlocks
 }
 
 // NewPlacement finalizes an edge assignment. owner must assign every edge of
@@ -106,6 +181,7 @@ func NewPlacement(g *graph.Graph, owner []int32, m int) (*Placement, error) {
 	for v, p := range pl.Master {
 		pl.MasterVerts[p] = append(pl.MasterVerts[p], graph.VertexID(v))
 	}
+	pl.inBlocks = pl.compileBlocks(false)
 	return pl, nil
 }
 

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/graph"
+)
+
+// RunSyncReference executes prog with the original edge-list engine: every
+// superstep walks pl.LocalEdges[p] as an index list into g.Edges and filters
+// sources against a dense active bitmap. It is the executable specification
+// of the engine's accounting semantics — RunSync (machine-local CSR blocks,
+// hybrid frontier) and RunSyncParallel (destination sharding) must charge
+// per-machine times, energy and communication bit-identically to this
+// function; the equivalence suite in internal/apps enforces exactly that.
+// Use RunSync for real work: it computes the same answer faster.
+func RunSyncReference[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
+	if cl.Size() != pl.M {
+		return nil, nil, fmt.Errorf("engine: placement has %d machines, cluster %d", pl.M, cl.Size())
+	}
+	g := pl.G
+	n := g.NumVertices
+	rt := &Runtime{NumVertices: n, NumEdges: len(g.Edges)}
+
+	outDeg := g.OutDegrees()
+	inDeg := g.InDegrees()
+	vals := make([]V, n)
+	for v := range vals {
+		vals[v] = prog.Init(graph.VertexID(v), outDeg[v], inDeg[v])
+	}
+
+	acc := make([]A, n)
+	has := make([]bool, n)
+	active := make([]bool, n)
+	nextActive := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	// touched[v] stamps the last (superstep, machine) pair that contributed a
+	// partial for v, so each (machine, vertex) partial is counted once;
+	// contribs[v] counts that pair's gathers into v for skew accounting.
+	touched := make([]int64, n)
+	for v := range touched {
+		touched[v] = -1
+	}
+	contribs := make([]int32, n)
+
+	applyAll := prog.ApplyAll()
+	both := prog.Direction() == GatherBoth
+	account := NewAccountant(cl, prog.Coeffs())
+
+	// Per-superstep scratch, allocated once and cleared in place.
+	counters := make([]StepCounters, pl.M)
+
+	maxSteps := prog.MaxSupersteps()
+	for step := 0; step < maxSteps; step++ {
+		rt.Step = step
+		clear(counters)
+
+		// Gather phase: every machine walks its local edges and accumulates
+		// contributions from active sources into target accumulators. The
+		// first contribution a machine makes toward a remote master costs one
+		// partial on the wire.
+		for p := 0; p < pl.M; p++ {
+			sc := &counters[p]
+			sc.Vertices = float64(len(pl.MasterVerts[p]))
+			// The stamp is unique per (step, machine) pair: p < pl.M makes
+			// step*M+p injective over pairs, and the +1 keeps every stamp
+			// above the -1 the touched array is initialised with.
+			stampBase := int64(step)*int64(pl.M) + int64(p) + 1
+			for _, ei := range pl.LocalEdges[p] {
+				e := g.Edges[ei]
+				if active[e.Src] {
+					gatherInto(prog, vals, acc, has, e.Src, e.Dst)
+					sc.Gathers++
+					if touched[e.Dst] != stampBase {
+						touched[e.Dst] = stampBase
+						contribs[e.Dst] = 0
+						if pl.Master[e.Dst] != int32(p) {
+							sc.PartialsOut++
+						}
+					}
+					contribs[e.Dst]++
+					if u := float64(contribs[e.Dst]); u > sc.MaxUnit {
+						sc.MaxUnit = u
+					}
+				}
+				if both && active[e.Dst] {
+					gatherInto(prog, vals, acc, has, e.Dst, e.Src)
+					sc.Gathers++
+					if touched[e.Src] != stampBase {
+						touched[e.Src] = stampBase
+						contribs[e.Src] = 0
+						if pl.Master[e.Src] != int32(p) {
+							sc.PartialsOut++
+						}
+					}
+					contribs[e.Src]++
+					if u := float64(contribs[e.Src]); u > sc.MaxUnit {
+						sc.MaxUnit = u
+					}
+				}
+			}
+		}
+
+		// Apply phase: masters apply and broadcast changed values to mirrors.
+		// nextCount tracks the next frontier size as it is built, replacing a
+		// post-swap O(|V|) emptiness scan.
+		anyChanged := false
+		nextCount := 0
+		for p := 0; p < pl.M; p++ {
+			sc := &counters[p]
+			for _, v := range pl.MasterVerts[p] {
+				if !applyAll && !has[v] {
+					continue
+				}
+				newVal, changed := prog.Apply(v, vals[v], acc[v], has[v], rt)
+				sc.Applies++
+				vals[v] = newVal
+				if changed {
+					anyChanged = true
+					mirrors := bits.OnesCount64(pl.ReplicaMask[v])
+					if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
+						mirrors--
+					}
+					sc.UpdatesOut += float64(mirrors)
+					if !applyAll {
+						nextActive[v] = true
+						nextCount++
+					}
+				}
+			}
+		}
+
+		account.Superstep(counters)
+
+		// Reset accumulators for the next superstep.
+		clear(has)
+		clear(acc)
+
+		if !anyChanged {
+			break
+		}
+		if !applyAll {
+			active, nextActive = nextActive, active
+			clear(nextActive)
+			if nextCount == 0 {
+				break
+			}
+		}
+	}
+
+	res := account.Finish(prog.Name(), g.Name, nil)
+	return res, vals, nil
+}

@@ -73,6 +73,18 @@ const migratedEdgeBytes = 48
 // RunSync executes prog over the placement on cl and returns the execution
 // report plus the final vertex states. The computation is exact; only the
 // charged time depends on the placement.
+//
+// This is the engine's fast path. Each superstep sweeps the machine-local
+// CSR-style edge blocks compiled at NewPlacement time (records grouped by
+// gather destination, so the sweep is sequential with no indirection through
+// g.Edges and the per-destination skew/partial bookkeeping falls out of the
+// group boundaries), and frontier-driven programs switch to a sparse
+// worklist sweep whenever the active set drops below the hybrid frontier's
+// density threshold, skipping inactive edges entirely. Simulated times,
+// energy and communication are bit-identical to RunSyncReference; vertex
+// values are bit-identical too on dense supersteps, and agree up to
+// floating-point re-association on sparse ones (exactly for min/max/integer
+// Sums).
 func RunSync[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
 	return RunSyncRebalanced[V, A](prog, pl, cl, nil)
 }
@@ -96,67 +108,113 @@ func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.
 
 	acc := make([]A, n)
 	has := make([]bool, n)
-	active := make([]bool, n)
-	nextActive := make([]bool, n)
-	for v := range active {
-		active[v] = true
-	}
-	// touched[v] stamps the last (superstep, machine) pair that contributed a
-	// partial for v, so each (machine, vertex) partial is counted once;
-	// contribs[v] counts that pair's gathers into v for skew accounting.
-	touched := make([]int64, n)
-	for v := range touched {
-		touched[v] = -1
-	}
-	contribs := make([]int32, n)
 
 	applyAll := prog.ApplyAll()
 	both := prog.Direction() == GatherBoth
+	blocks := pl.blocks(both)
 	account := NewAccountant(cl, prog.Coeffs())
+
+	// The frontier starts full: every vertex gathers in superstep 0, exactly
+	// as the reference engine's all-true active bitmap prescribes.
+	front := newFrontier(n)
+	front.fill()
+	next := newFrontier(n)
+
+	// Per-superstep scratch, allocated once and reused. touched/contribs
+	// back the sparse sweep's per-(machine, destination) partial accounting;
+	// dirty lists the destinations gathered into during a sparse step so the
+	// accumulator reset costs O(gathered), not O(|V|).
+	counters := make([]StepCounters, pl.M)
+	var (
+		touched  []int64
+		contribs []int32
+		dirty    []graph.VertexID
+	)
+	if !applyAll {
+		touched = make([]int64, n)
+		contribs = make([]int32, n)
+	}
 
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
-		counters := make([]StepCounters, pl.M)
+		clear(counters)
+		for p := range counters {
+			// Per-vertex scheduling bookkeeping is charged every superstep
+			// regardless of activity (see CostCoeffs.OpsPerVertex).
+			counters[p].Vertices = float64(len(pl.MasterVerts[p]))
+		}
 
-		// Gather phase: every machine walks its local edges and accumulates
-		// contributions from active sources into target accumulators. The
-		// first contribution a machine makes toward a remote master costs one
-		// partial on the wire.
-		for p := 0; p < pl.M; p++ {
-			sc := &counters[p]
-			sc.Vertices = float64(len(pl.MasterVerts[p]))
-			stampBase := (int64(step)*int64(pl.M) + int64(p) + 1) * 1
-			for _, ei := range pl.LocalEdges[p] {
-				e := g.Edges[ei]
-				if active[e.Src] {
-					gatherInto(prog, vals, acc, has, e.Src, e.Dst)
-					sc.Gathers++
-					if touched[e.Dst] != stampBase {
-						touched[e.Dst] = stampBase
-						contribs[e.Dst] = 0
-						if pl.Master[e.Dst] != int32(p) {
-							sc.PartialsOut++
-						}
+		// Direction choice, made per superstep: a sparse frontier drives a
+		// worklist sweep over the source-grouped blocks; otherwise every
+		// machine scans its destination-grouped block sequentially.
+		sparse := !applyAll && front.sparse()
+		if sparse {
+			srcs := front.sorted()
+			for p := 0; p < pl.M; p++ {
+				sc := &counters[p]
+				blk := &blocks[p].bySrc
+				// The stamp is unique per (step, machine) pair: p < pl.M
+				// makes step*M+p injective over pairs, and the +1 keeps every
+				// stamp above touched's zero initialisation.
+				stamp := int64(step)*int64(pl.M) + int64(p) + 1
+				for _, s := range srcs {
+					gi := blk.Find(s)
+					if gi < 0 {
+						continue
 					}
-					contribs[e.Dst]++
-					if u := float64(contribs[e.Dst]); u > sc.MaxUnit {
-						sc.MaxUnit = u
+					for _, d := range blk.Group(gi) {
+						a := prog.Gather(vals[s])
+						if has[d] {
+							acc[d] = prog.Sum(acc[d], a)
+						} else {
+							acc[d] = a
+							has[d] = true
+							dirty = append(dirty, d)
+						}
+						sc.Gathers++
+						if touched[d] != stamp {
+							touched[d] = stamp
+							contribs[d] = 0
+							if pl.Master[d] != int32(p) {
+								sc.PartialsOut++
+							}
+						}
+						contribs[d]++
+						if u := float64(contribs[d]); u > sc.MaxUnit {
+							sc.MaxUnit = u
+						}
 					}
 				}
-				if both && active[e.Dst] {
-					gatherInto(prog, vals, acc, has, e.Dst, e.Src)
-					sc.Gathers++
-					if touched[e.Src] != stampBase {
-						touched[e.Src] = stampBase
-						contribs[e.Src] = 0
-						if pl.Master[e.Src] != int32(p) {
+			}
+		} else {
+			act := front.bits
+			if applyAll {
+				act = nil // every vertex is a gather source; skip the test
+			}
+			for p := 0; p < pl.M; p++ {
+				sc := &counters[p]
+				blk := &blocks[p]
+				for gi, d := range blk.byDst.Keys {
+					var c int32
+					for _, s := range blk.byDst.Group(gi) {
+						if act != nil && !act[s] {
+							continue
+						}
+						gatherInto(prog, vals, acc, has, s, d)
+						c++
+					}
+					// One destination group = one (machine, vertex) partial:
+					// its size is the contribution count the reference engine
+					// reconstructs with touched/contribs stamps.
+					if c > 0 {
+						sc.Gathers += float64(c)
+						if blk.remote[gi] {
 							sc.PartialsOut++
 						}
-					}
-					contribs[e.Src]++
-					if u := float64(contribs[e.Src]); u > sc.MaxUnit {
-						sc.MaxUnit = u
+						if u := float64(c); u > sc.MaxUnit {
+							sc.MaxUnit = u
+						}
 					}
 				}
 			}
@@ -164,24 +222,46 @@ func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.
 
 		// Apply phase: masters apply and broadcast changed values to mirrors.
 		anyChanged := false
-		for p := 0; p < pl.M; p++ {
-			sc := &counters[p]
-			for _, v := range pl.MasterVerts[p] {
-				if !applyAll && !has[v] {
-					continue
-				}
-				newVal, changed := prog.Apply(v, vals[v], acc[v], has[v], rt)
+		if sparse {
+			// Only gathered destinations can apply (applyAll programs never
+			// run sparse), so the sweep visits the dirty set instead of every
+			// machine's full master list.
+			for _, d := range dirty {
+				p := pl.Master[d]
+				sc := &counters[p]
+				newVal, changed := prog.Apply(d, vals[d], acc[d], true, rt)
 				sc.Applies++
-				vals[v] = newVal
+				vals[d] = newVal
 				if changed {
 					anyChanged = true
-					mirrors := bits.OnesCount64(pl.ReplicaMask[v])
-					if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
+					mirrors := bits.OnesCount64(pl.ReplicaMask[d])
+					if pl.ReplicaMask[d]&(1<<uint(p)) != 0 {
 						mirrors--
 					}
 					sc.UpdatesOut += float64(mirrors)
-					if !applyAll {
-						nextActive[v] = true
+					next.add(d)
+				}
+			}
+		} else {
+			for p := 0; p < pl.M; p++ {
+				sc := &counters[p]
+				for _, v := range pl.MasterVerts[p] {
+					if !applyAll && !has[v] {
+						continue
+					}
+					newVal, changed := prog.Apply(v, vals[v], acc[v], has[v], rt)
+					sc.Applies++
+					vals[v] = newVal
+					if changed {
+						anyChanged = true
+						mirrors := bits.OnesCount64(pl.ReplicaMask[v])
+						if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
+							mirrors--
+						}
+						sc.UpdatesOut += float64(mirrors)
+						if !applyAll {
+							next.add(v)
+						}
 					}
 				}
 			}
@@ -190,7 +270,8 @@ func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.
 		account.Superstep(counters)
 
 		// Dynamic rebalancing hook: migrate edges between barriers, paying
-		// for the moved state on the wire.
+		// for the moved state on the wire. The new placement arrives with
+		// freshly compiled edge blocks.
 		if rb != nil {
 			last := account.LastStep()
 			if owner, moved, ok := rb.Decide(step, last.PerMachine, pl); ok {
@@ -199,28 +280,34 @@ func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.
 					return nil, nil, fmt.Errorf("engine: rebalance at step %d: %w", step, err)
 				}
 				pl = newPl
+				blocks = pl.blocks(both)
 				account.Stall(cl.Net.TransferTime(float64(moved)*migratedEdgeBytes), "migrate")
 			}
 		}
 
-		// Reset accumulators for the next superstep.
-		clear(has)
-		clear(acc)
+		// Reset accumulators for the next superstep: O(gathered) after a
+		// sparse step, a wholesale clear after a dense one.
+		if sparse {
+			var zero A
+			for _, d := range dirty {
+				acc[d] = zero
+				has[d] = false
+			}
+			dirty = dirty[:0]
+		} else {
+			clear(has)
+			clear(acc)
+		}
 
 		if !anyChanged {
 			break
 		}
 		if !applyAll {
-			active, nextActive = nextActive, active
-			clear(nextActive)
-			anyActive := false
-			for _, a := range active {
-				if a {
-					anyActive = true
-					break
-				}
-			}
-			if !anyActive {
+			front, next = next, front
+			next.reset()
+			// The frontier count is maintained live by the apply phase, so
+			// termination needs no O(|V|) emptiness scan.
+			if front.count == 0 {
 				break
 			}
 		}

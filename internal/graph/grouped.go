@@ -1,0 +1,74 @@
+package graph
+
+import "sort"
+
+// Grouped is a CSR-style grouping of (key, companion) vertex pairs whose key
+// set is sparse — the machine-local analogue of CSR. Where CSR indexes every
+// vertex 0..n-1, Grouped lists only the keys that actually occur, so a
+// machine owning a fraction of the graph's edges pays memory proportional to
+// its own edge set, not to |V|.
+//
+// Keys holds the distinct keys in ascending order; the companions of Keys[i]
+// occupy Vals[Offs[i]:Offs[i+1]] in input order (the grouping is stable).
+// The engine compiles each machine's local edges into two of these — one
+// grouped by gather destination for dense sweeps, one grouped by gather
+// source for sparse-frontier sweeps (see internal/engine/placement.go).
+type Grouped struct {
+	Keys []VertexID
+	Offs []int32
+	Vals []VertexID
+}
+
+// GroupPairs groups the records (keys[i] -> vals[i]) by key with a stable
+// counting sort: O(R + K log K) for R records over K distinct keys, with no
+// per-key allocation. scratch provides the counting workspace; it must have
+// length at least max(keys)+1 and hold only zeros, and it is handed back
+// zeroed so one scratch can serve many calls (the engine compiles one block
+// per machine against a single |V|-sized scratch).
+func GroupPairs(keys, vals []VertexID, scratch []int32) Grouped {
+	if len(keys) != len(vals) {
+		panic("graph: GroupPairs key/val length mismatch")
+	}
+	distinct := make([]VertexID, 0, len(keys))
+	for _, k := range keys {
+		if scratch[k] == 0 {
+			distinct = append(distinct, k)
+		}
+		scratch[k]++
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+
+	offs := make([]int32, len(distinct)+1)
+	for i, k := range distinct {
+		offs[i+1] = offs[i] + scratch[k]
+		// Repurpose the count as the running write cursor for key k.
+		scratch[k] = offs[i]
+	}
+	out := make([]VertexID, len(vals))
+	for i, k := range keys {
+		out[scratch[k]] = vals[i]
+		scratch[k]++
+	}
+	for _, k := range distinct {
+		scratch[k] = 0
+	}
+	return Grouped{Keys: distinct, Offs: offs, Vals: out}
+}
+
+// Find returns the group index of key k, or -1 when k has no records.
+func (g *Grouped) Find(k VertexID) int {
+	i := sort.Search(len(g.Keys), func(i int) bool { return g.Keys[i] >= k })
+	if i < len(g.Keys) && g.Keys[i] == k {
+		return i
+	}
+	return -1
+}
+
+// Group returns the companion slice of group i. The slice aliases the
+// Grouped's storage and must not be modified.
+func (g *Grouped) Group(i int) []VertexID {
+	return g.Vals[g.Offs[i]:g.Offs[i+1]]
+}
+
+// NumRecords returns the total number of grouped records.
+func (g *Grouped) NumRecords() int { return len(g.Vals) }
