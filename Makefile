@@ -9,11 +9,12 @@ test:
 	go test ./...
 
 # check is the pre-merge gate: static analysis plus the race detector over the
-# packages that run goroutines (the destination-sharded engine) or are
-# otherwise concurrency-sensitive.
+# packages that run goroutines (the destination-sharded engine, including its
+# fault-recovery paths exercised by the chaos suite) or are otherwise
+# concurrency-sensitive.
 check:
 	go vet ./...
-	go test -race ./internal/engine ./internal/partition
+	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault
 
 # bench runs the engine gather micro-benchmarks whose edges/s trajectory is
 # tracked in BENCH_ENGINE.json.

@@ -291,3 +291,14 @@ func BenchmarkFrequencySweep(b *testing.B) {
 		emit(b, "freqsweep", t)
 	}
 }
+
+func BenchmarkRecoveryStudy(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		t, err := lab.RecoveryStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, "recovery", t)
+	}
+}

@@ -66,6 +66,7 @@ func experiments() []experiment {
 		{"ingress", "loading/finalization makespans", one((*exp.Lab).IngressStudy)},
 		{"dynamic", "Mizan-style dynamic balancing vs static CCR ingress", one((*exp.Lab).DynamicStudy)},
 		{"amortization", "one-time profiling cost vs session gains", one((*exp.Lab).AmortizationStudy)},
+		{"recovery", "checkpoint interval vs crash-recovery cost", one((*exp.Lab).RecoveryStudy)},
 		{"freqsweep", "CCR vs little-machine frequency", one((*exp.Lab).FrequencySweep)},
 		{"abl-hybrid", "hybrid threshold sweep", one((*exp.Lab).AblationHybridThreshold)},
 		{"abl-ginger", "ginger gamma sweep", one((*exp.Lab).AblationGingerGamma)},

@@ -22,6 +22,7 @@ import (
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/core"
 	"proxygraph/internal/engine"
+	"proxygraph/internal/fault"
 	"proxygraph/internal/gen"
 	"proxygraph/internal/graph"
 	"proxygraph/internal/metrics"
@@ -40,6 +41,13 @@ func main() {
 		poolFile    = flag.String("pool", "", "CCR pool JSON from cmd/profiler (overrides -estimator)")
 		seed        = flag.Uint64("seed", 42, "run seed")
 		trace       = flag.Bool("trace", false, "print the superstep timeline")
+
+		faultSeed  = flag.Uint64("fault-seed", 0, "fault schedule seed (0 disables fault injection)")
+		crashes    = flag.Int("crashes", 0, "scheduled machine crashes")
+		stragglers = flag.Int("stragglers", 0, "scheduled transient stragglers")
+		netFaults  = flag.Int("netfaults", 0, "scheduled network degradation windows")
+		checkpoint = flag.Int("checkpoint", 0, "checkpoint every N supersteps (0 disables)")
+		recovery   = flag.String("recovery", "checkpoint", "crash recovery policy: checkpoint, restart")
 	)
 	flag.Parse()
 
@@ -76,7 +84,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := app.Run(pl, cl)
+	opts, sched, err := faultOptions(cl, *faultSeed, *crashes, *stragglers, *netFaults, *checkpoint, *recovery)
+	if err != nil {
+		fatal(err)
+	}
+	var res *engine.Result
+	if opts == nil {
+		res, err = app.Run(pl, cl)
+	} else {
+		fr, ok := app.(apps.OptsRunner)
+		if !ok {
+			fatal(fmt.Errorf("%s does not run on the synchronous GAS engine; fault injection and checkpointing need one of: pagerank, connected_components, bfs", app.Name()))
+		}
+		res, err = fr.RunOpts(pl, cl, *opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -94,10 +115,53 @@ func main() {
 	if stragglers := engine.StragglerShare(res); stragglers != nil {
 		fmt.Printf("straggler shares   %v\n", formatShares(stragglers))
 	}
+	if opts != nil {
+		fmt.Printf("fault schedule     %s\n", sched)
+		fmt.Printf("checkpoints        %d written, %d recoveries\n", res.Checkpoints, res.Recoveries)
+	}
 	if *trace {
 		fmt.Println()
 		fmt.Print(engine.TraceGantt(res, 48))
 	}
+}
+
+// faultHorizon bounds where scheduled fault events land: the first 16
+// supersteps, which every Table II application reaches at default settings.
+const faultHorizon = 16
+
+// faultOptions translates the fault flags into engine options. A nil result
+// means the plain Run path (no injection, no checkpointing).
+func faultOptions(cl *cluster.Cluster, seed uint64, crashes, stragglers, netFaults, checkpoint int, recovery string) (*engine.Options, string, error) {
+	var policy engine.RecoveryPolicy
+	switch recovery {
+	case "checkpoint":
+		policy = engine.RecoverCheckpoint
+	case "restart":
+		policy = engine.RecoverRestart
+	default:
+		return nil, "", fmt.Errorf("unknown recovery policy %q (want checkpoint or restart)", recovery)
+	}
+	cfg := &engine.FaultConfig{CheckpointEvery: checkpoint, Policy: policy}
+	schedText := "fault-free"
+	if seed != 0 {
+		sched, err := fault.NewSchedule(seed, fault.Spec{
+			Machines:      cl.Size(),
+			Horizon:       faultHorizon,
+			Crashes:       crashes,
+			Stragglers:    stragglers,
+			NetworkFaults: netFaults,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		cfg.Injector = sched
+		schedText = sched.String()
+	} else if crashes != 0 || stragglers != 0 || netFaults != 0 {
+		return nil, "", fmt.Errorf("fault events scheduled without -fault-seed")
+	} else if checkpoint == 0 {
+		return nil, "", nil
+	}
+	return &engine.Options{Fault: cfg}, schedText, nil
 }
 
 func loadGraph(file, specName string, scale int, seed uint64) (*graph.Graph, error) {

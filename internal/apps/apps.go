@@ -25,6 +25,16 @@ type App interface {
 	Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error)
 }
 
+// OptsRunner is implemented by applications whose engine run accepts
+// engine.Options — dynamic rebalancing and fault injection. The synchronous
+// GAS applications (PageRank, Connected Components, BFS) qualify; the
+// asynchronous and one-shot applications do not.
+type OptsRunner interface {
+	App
+	// RunOpts is Run with engine options attached.
+	RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error)
+}
+
 // All returns the paper's four applications with default parameters, in the
 // order the paper's figures list them.
 func All() []App {

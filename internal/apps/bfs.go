@@ -97,7 +97,13 @@ func (b *BFS) Apply(v graph.VertexID, old int32, acc int32, hasAcc bool, rt *eng
 // Run implements App. The Output is the []int32 distance vector
 // (-1 for unreachable vertices).
 func (b *BFS) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
-	res, dists, err := engine.RunSync[int32, int32](b, pl, cl)
+	return b.RunOpts(pl, cl, engine.Options{})
+}
+
+// RunOpts is Run with engine options attached (dynamic rebalancing, fault
+// injection and checkpointing).
+func (b *BFS) RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error) {
+	res, dists, err := engine.RunSyncOpts[int32, int32](b, pl, cl, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -78,7 +78,13 @@ func (cc *ConnectedComponents) Apply(v graph.VertexID, old uint32, acc uint32, h
 
 // Run implements App. The Output is a Components summary.
 func (cc *ConnectedComponents) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
-	res, labels, err := engine.RunSync[uint32, uint32](cc, pl, cl)
+	return cc.RunOpts(pl, cl, engine.Options{})
+}
+
+// RunOpts is Run with engine options attached (dynamic rebalancing, fault
+// injection and checkpointing).
+func (cc *ConnectedComponents) RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error) {
+	res, labels, err := engine.RunSyncOpts[uint32, uint32](cc, pl, cl, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -112,12 +118,7 @@ func SummarizeComponents(labels []uint32) Components {
 // RunRebalanced is Run with a dynamic load-balancing policy attached (see
 // engine.Rebalancer and package dynamic).
 func (cc *ConnectedComponents) RunRebalanced(pl *engine.Placement, cl *cluster.Cluster, rb engine.Rebalancer) (*engine.Result, error) {
-	res, labels, err := engine.RunSyncRebalanced[uint32, uint32](cc, pl, cl, rb)
-	if err != nil {
-		return nil, err
-	}
-	res.Output = SummarizeComponents(labels)
-	return res, nil
+	return cc.RunOpts(pl, cl, engine.Options{Rebalancer: rb})
 }
 
 // RunParallel is Run on the destination-sharded parallel engine; label

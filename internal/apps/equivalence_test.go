@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"proxygraph/internal/cluster"
+	"proxygraph/internal/dynamic"
 	"proxygraph/internal/engine"
 	"proxygraph/internal/gen"
 	"proxygraph/internal/graph"
@@ -228,5 +229,94 @@ func TestEngineEquivalenceFiveApps(t *testing.T) {
 	})
 	t.Run("core-cascade", func(t *testing.T) {
 		checkEquivalence[coreState, int32](t, "core-cascade", cascadeProgram{k: 3}, pl, cl, exact[coreState])
+	})
+}
+
+// checkRebalancedEquivalence runs prog through all three engines with a fresh
+// identically-seeded Migrator each, asserting bitwise-equal accounting and
+// equal outputs. Migration decisions depend only on the per-step busy times,
+// which the equivalence suite already proves bitwise identical, so every
+// engine must fire the same migrations at the same barriers.
+func checkRebalancedEquivalence[V, A any](t *testing.T, name string, prog engine.Program[V, A], pl *engine.Placement, cl *cluster.Cluster, eq func(a, b V) bool) {
+	t.Helper()
+	newMig := func() *dynamic.Migrator {
+		mig := dynamic.NewMigrator(21)
+		mig.Trigger = 1.05
+		return mig
+	}
+	refMig := newMig()
+	refRes, refVals, err := engine.RunSyncReferenceOpts[V, A](prog, pl, cl, engine.Options{Rebalancer: refMig})
+	if err != nil {
+		t.Fatalf("%s reference: %v", name, err)
+	}
+	csrMig := newMig()
+	csrRes, csrVals, err := engine.RunSyncOpts[V, A](prog, pl, cl, engine.Options{Rebalancer: csrMig})
+	if err != nil {
+		t.Fatalf("%s csr: %v", name, err)
+	}
+	parMig := newMig()
+	parRes, parVals, err := engine.RunSyncParallelOpts[V, A](prog, pl, cl, engine.Options{Rebalancer: parMig})
+	if err != nil {
+		t.Fatalf("%s parallel: %v", name, err)
+	}
+
+	if refMig.Migrations == 0 {
+		t.Fatalf("%s: migrator never fired on the heterogeneous cluster", name)
+	}
+	if csrMig.Migrations != refMig.Migrations || parMig.Migrations != refMig.Migrations {
+		t.Fatalf("%s: migration counts diverge: ref=%d csr=%d parallel=%d",
+			name, refMig.Migrations, csrMig.Migrations, parMig.Migrations)
+	}
+	if csrMig.EdgesMoved != refMig.EdgesMoved || parMig.EdgesMoved != refMig.EdgesMoved {
+		t.Fatalf("%s: moved-edge counts diverge: ref=%d csr=%d parallel=%d",
+			name, refMig.EdgesMoved, csrMig.EdgesMoved, parMig.EdgesMoved)
+	}
+	sameAccounting(t, name+"/rebalanced-csr", refRes, csrRes)
+	sameAccounting(t, name+"/rebalanced-parallel", refRes, parRes)
+	for v := range refVals {
+		if !eq(refVals[v], csrVals[v]) {
+			t.Fatalf("%s: csr value diverges at vertex %d", name, v)
+		}
+		if !eq(refVals[v], parVals[v]) {
+			t.Fatalf("%s: parallel value diverges at vertex %d", name, v)
+		}
+	}
+}
+
+// TestEngineEquivalenceRebalanced proves RunSyncParallel's new Rebalancer
+// support (and the reference engine's) matches the CSR engine exactly:
+// dynamic migration keeps all three engines on the same trajectory.
+func TestEngineEquivalenceRebalanced(t *testing.T) {
+	old := engine.ParallelShards
+	engine.ParallelShards = 4
+	t.Cleanup(func() { engine.ParallelShards = old })
+
+	// The equivalence graph is too sparse here: network time dominates and is
+	// identical per machine, so the migrator stays quiet. A denser graph on a
+	// compute-skewed cluster (mixed core counts → mixed memory bandwidth)
+	// produces the imbalance the migrator exists to fix.
+	g, err := gen.Generate(gen.Spec{
+		Name: "equiv-rebalance", Vertices: 10000, Edges: 120000, Kind: gen.KindPowerLaw,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(
+		cluster.LocalXeon("xeon-4c", 4, 2.5),
+		cluster.LocalXeon("xeon-4c", 4, 2.5),
+		cluster.LocalXeon("xeon-12c", 12, 2.5),
+		cluster.LocalXeon("xeon-12c", 12, 2.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := moduloPlacement(t, g, 4)
+
+	t.Run("pagerank", func(t *testing.T) {
+		checkRebalancedEquivalence[prState, float64](t, "pagerank", NewPageRank(), pl, cl,
+			func(a, b prState) bool { return floatClose(a.rank, b.rank) && a.invOut == b.invOut })
+	})
+	t.Run("components", func(t *testing.T) {
+		checkRebalancedEquivalence[uint32, uint32](t, "components", NewConnectedComponents(), pl, cl, exact[uint32])
 	})
 }

@@ -94,7 +94,13 @@ func (pr *PageRank) Apply(v graph.VertexID, old prState, acc float64, hasAcc boo
 
 // Run implements App. The Output is the []float64 rank vector.
 func (pr *PageRank) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
-	res, vals, err := engine.RunSync[prState, float64](pr, pl, cl)
+	return pr.RunOpts(pl, cl, engine.Options{})
+}
+
+// RunOpts is Run with engine options attached (dynamic rebalancing, fault
+// injection and checkpointing).
+func (pr *PageRank) RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error) {
+	res, vals, err := engine.RunSyncOpts[prState, float64](pr, pl, cl, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -109,16 +115,7 @@ func (pr *PageRank) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Resu
 // RunRebalanced is Run with a dynamic load-balancing policy attached (see
 // engine.Rebalancer and package dynamic).
 func (pr *PageRank) RunRebalanced(pl *engine.Placement, cl *cluster.Cluster, rb engine.Rebalancer) (*engine.Result, error) {
-	res, vals, err := engine.RunSyncRebalanced[prState, float64](pr, pl, cl, rb)
-	if err != nil {
-		return nil, err
-	}
-	ranks := make([]float64, len(vals))
-	for i, s := range vals {
-		ranks[i] = s.rank
-	}
-	res.Output = ranks
-	return res, nil
+	return pr.RunOpts(pl, cl, engine.Options{Rebalancer: rb})
 }
 
 // RunParallel is Run on the destination-sharded parallel engine (workers own

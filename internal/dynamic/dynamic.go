@@ -23,7 +23,8 @@ type Migrator struct {
 	// Fraction of the straggler's excess edges moved per migration
 	// (default 0.5).
 	Fraction float64
-	// MaxMigrations caps the total number of migrations (default 16).
+	// MaxMigrations caps the total number of migrations. Zero means
+	// unlimited; NewMigrator sets the default cap of 16.
 	MaxMigrations int
 	// Seed drives the edge selection.
 	Seed uint64
@@ -44,16 +45,19 @@ func (m *Migrator) Decide(step int, times []float64, pl *engine.Placement) ([]in
 	if m.MaxMigrations > 0 && m.Migrations >= m.MaxMigrations {
 		return nil, 0, false
 	}
-	slowest, fastest := 0, 0
+	// The fastest machine is the cheapest positive-time one: machines that
+	// charged nothing this step (crashed and retired by the fault layer, or
+	// simply idle) are not migration targets.
+	slowest, fastest := 0, -1
 	for p, t := range times {
 		if t > times[slowest] {
 			slowest = p
 		}
-		if t < times[fastest] {
+		if t > 0 && (fastest < 0 || t < times[fastest]) {
 			fastest = p
 		}
 	}
-	if slowest == fastest || times[fastest] <= 0 {
+	if fastest < 0 || slowest == fastest {
 		return nil, 0, false
 	}
 	if times[slowest]/times[fastest] < m.Trigger {

@@ -110,6 +110,58 @@ func TestMigratorRespectsMaxMigrations(t *testing.T) {
 	}
 }
 
+func TestMigratorUnlimitedWhenZero(t *testing.T) {
+	cl := caseTwoCluster(t)
+	g := testGraph(t, 3, 10000, 120000)
+	pr := apps.NewPageRank()
+	pr.Tolerance = 0
+	pr.MaxIters = 15
+
+	capped := NewMigrator(5)
+	capped.MaxMigrations = 1
+	if _, err := pr.RunRebalanced(uniformPlacement(t, g, 2), cl, capped); err != nil {
+		t.Fatal(err)
+	}
+	if capped.Migrations != 1 {
+		t.Fatalf("capped migrator fired %d times, cap was 1", capped.Migrations)
+	}
+
+	// Zero disables the cap entirely: same run must migrate at least as often.
+	unlimited := NewMigrator(5)
+	unlimited.MaxMigrations = 0
+	if _, err := pr.RunRebalanced(uniformPlacement(t, g, 2), cl, unlimited); err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.Migrations <= capped.Migrations {
+		t.Fatalf("unlimited migrator fired %d times, capped one fired %d",
+			unlimited.Migrations, capped.Migrations)
+	}
+}
+
+func TestDecideIgnoresZeroTimeMachines(t *testing.T) {
+	g := testGraph(t, 7, 100, 600)
+	pl, err := engine.NewPlacement(g, make([]int32, len(g.Edges)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMigrator(1)
+	// Machine 1 charged nothing (crashed or idle): it must not become the
+	// migration target. Machine 2 is the only valid fastest machine.
+	owner, moved, ok := m.Decide(0, []float64{4, 0, 1}, pl)
+	if !ok || moved == 0 {
+		t.Fatal("expected a migration onto the fastest alive machine")
+	}
+	for _, o := range owner {
+		if o == 1 {
+			t.Fatal("edge migrated onto a zero-time machine")
+		}
+	}
+	// Only zero-time machines besides the straggler: refuse.
+	if _, _, ok := m.Decide(1, []float64{4, 0, 0}, pl); ok {
+		t.Error("migration triggered with no alive target")
+	}
+}
+
 func TestMigrationChargedAsStall(t *testing.T) {
 	cl := caseTwoCluster(t)
 	g := testGraph(t, 4, 10000, 120000)

@@ -101,6 +101,11 @@ type Result struct {
 	// Trace records per-phase per-machine timings for straggler analysis
 	// (see TraceGantt and StragglerShare).
 	Trace []StepTiming
+	// Checkpoints counts superstep checkpoints written during the run and
+	// Recoveries the crash recoveries performed; both zero on fault-free
+	// runs. Their time and energy costs are folded into SimSeconds,
+	// EnergyJoules and the "checkpoint"/"recover" trace phases.
+	Checkpoints, Recoveries int
 	// Output carries the application result (ranks, labels, counts...).
 	Output any
 }
@@ -115,6 +120,15 @@ type Accountant struct {
 	cl     *cluster.Cluster
 	coeffs CostCoeffs
 
+	// eff, when non-nil, is the cluster steps are charged against instead of
+	// cl — the fault layer's perturbation hook (straggler throttling, network
+	// degradation). Energy at Finish always uses cl: the hardware is the
+	// same, it is just running degraded.
+	eff *cluster.Cluster
+	// retiredAt[p] is the simulated time machine p crashed, -1 while alive.
+	// Retired machines charge no further time, bytes or energy.
+	retiredAt []float64
+
 	simTime    float64
 	busy       []float64
 	comm       []float64
@@ -127,13 +141,50 @@ type Accountant struct {
 
 // NewAccountant creates an accountant for a run over cl.
 func NewAccountant(cl *cluster.Cluster, coeffs CostCoeffs) *Accountant {
+	retired := make([]float64, cl.Size())
+	for i := range retired {
+		retired[i] = -1
+	}
 	return &Accountant{
 		cl:        cl,
 		coeffs:    coeffs,
+		retiredAt: retired,
 		busy:      make([]float64, cl.Size()),
 		comm:      make([]float64, cl.Size()),
 		asyncBusy: make([]float64, cl.Size()),
 	}
+}
+
+// setEffective installs the cluster the next phases are charged against
+// (nil restores the real cluster). The fault injector calls this before each
+// superstep so throttled machines and degraded links cost what they should.
+func (a *Accountant) setEffective(cl *cluster.Cluster) {
+	if cl == a.cl {
+		cl = nil
+	}
+	a.eff = cl
+}
+
+// effective returns the cluster used for time charging.
+func (a *Accountant) effective() *cluster.Cluster {
+	if a.eff != nil {
+		return a.eff
+	}
+	return a.cl
+}
+
+// Retire marks machine p as permanently failed at the current simulated
+// time: it charges nothing from now on and its idle power stops accruing at
+// the moment of death.
+func (a *Accountant) Retire(p int) {
+	if p >= 0 && p < len(a.retiredAt) && a.retiredAt[p] < 0 {
+		a.retiredAt[p] = a.simTime
+	}
+}
+
+// Retired reports whether machine p has been retired by a fault.
+func (a *Accountant) Retired(p int) bool {
+	return p >= 0 && p < len(a.retiredAt) && a.retiredAt[p] >= 0
 }
 
 // Superstep charges one synchronous step: every machine computes and
@@ -143,14 +194,18 @@ func NewAccountant(cl *cluster.Cluster, coeffs CostCoeffs) *Accountant {
 func (a *Accountant) Superstep(counters []StepCounters) {
 	a.foldAsync()
 	a.steps++
+	eff := a.effective()
 	worst := 0.0
 	perMachine := make([]float64, len(counters))
 	for p, sc := range counters {
-		m := a.cl.Machines[p]
+		if a.retiredAt[p] >= 0 {
+			continue // dead machines do no work, not even step overhead
+		}
+		m := eff.Machines[p]
 		a.gathers += sc.Gathers
 		tCompute := m.ComputeTime(sc.work(a.coeffs))
 		bytes := sc.commBytes(a.coeffs)
-		tComm := a.cl.Net.TransferTime(bytes)
+		tComm := eff.Net.TransferTime(bytes)
 		a.busy[p] += tCompute
 		a.comm[p] += bytes
 		t := math.Max(tCompute, tComm)
@@ -166,11 +221,15 @@ func (a *Accountant) Superstep(counters []StepCounters) {
 // Async charges one asynchronous phase: machines work independently with no
 // barrier; their busy times accumulate until the next fold.
 func (a *Accountant) Async(counters []StepCounters) {
+	eff := a.effective()
 	perMachine := make([]float64, len(counters))
 	for p, sc := range counters {
-		m := a.cl.Machines[p]
+		if a.retiredAt[p] >= 0 {
+			continue
+		}
+		m := eff.Machines[p]
 		a.gathers += sc.Gathers
-		t := math.Max(m.ComputeTime(sc.work(a.coeffs)), a.cl.Net.TransferTime(sc.commBytes(a.coeffs)))
+		t := math.Max(m.ComputeTime(sc.work(a.coeffs)), eff.Net.TransferTime(sc.commBytes(a.coeffs)))
 		a.asyncBusy[p] += t
 		a.busy[p] += m.ComputeTime(sc.work(a.coeffs))
 		a.comm[p] += sc.commBytes(a.coeffs)
@@ -198,7 +257,9 @@ func (a *Accountant) Stall(seconds float64, kind string) {
 	a.foldAsync()
 	per := make([]float64, len(a.busy))
 	for i := range per {
-		per[i] = seconds
+		if a.retiredAt[i] < 0 {
+			per[i] = seconds
+		}
 	}
 	a.simTime += seconds
 	a.trace = append(a.trace, StepTiming{Kind: kind, PerMachine: per, Barrier: seconds})
@@ -237,9 +298,35 @@ func (a *Accountant) Finish(app, graphName string, output any) *Result {
 		Output:      output,
 	}
 	for p, m := range a.cl.Machines {
-		res.EnergyJoules += m.Energy(a.busy[p], a.simTime)
+		on := a.simTime
+		if a.retiredAt[p] >= 0 {
+			// A crashed machine is powered off from the moment of death.
+			on = a.retiredAt[p]
+		}
+		res.EnergyJoules += m.Energy(a.busy[p], on)
 	}
 	return res
+}
+
+// AccountSnapshot is the accounting state a checkpoint persists: everything
+// the Result accumulates, frozen at the barrier the checkpoint was written.
+type AccountSnapshot struct {
+	SimSeconds  float64
+	BusySeconds []float64
+	CommBytes   []float64
+	Supersteps  int
+	Gathers     float64
+}
+
+// Snapshot captures the accumulated counters (deep copies, safe to retain).
+func (a *Accountant) Snapshot() AccountSnapshot {
+	return AccountSnapshot{
+		SimSeconds:  a.simTime,
+		BusySeconds: append([]float64(nil), a.busy...),
+		CommBytes:   append([]float64(nil), a.comm...),
+		Supersteps:  a.steps,
+		Gathers:     a.gathers,
+	}
 }
 
 // Validate checks that a counters slice matches the cluster size.

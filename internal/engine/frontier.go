@@ -76,6 +76,25 @@ func (f *frontier) sorted() []graph.VertexID {
 	return f.list
 }
 
+// restore overwrites the frontier from a checkpointed bitmap. The worklist is
+// rebuilt in ascending order exactly when the set is under the density
+// threshold, matching what organic add()s would have produced (overflow
+// triggers on the add that would push the list past listCap, so a finished
+// frontier overflows iff count > listCap).
+func (f *frontier) restore(active []bool, count int) {
+	copy(f.bits, active)
+	f.count = count
+	f.list = f.list[:0]
+	f.overflow = count > f.listCap
+	if !f.overflow {
+		for v, on := range active {
+			if on {
+				f.list = append(f.list, graph.VertexID(v))
+			}
+		}
+	}
+}
+
 // reset deactivates everything in O(active) when sparse, O(|V|) otherwise.
 func (f *frontier) reset() {
 	if f.overflow {

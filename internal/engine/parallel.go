@@ -38,9 +38,20 @@ type span struct{ lo, hi int32 }
 // destination's contributions are still summed machine-major in local record
 // order — by the worker that owns the destination.
 //
-// Buffers are allocated once per run and reused across supersteps. Dynamic
-// rebalancing is not supported here; use RunSyncRebalanced for that.
+// Buffers are allocated once per run and reused across supersteps.
 func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
+	return RunSyncParallelOpts[V, A](prog, pl, cl, Options{})
+}
+
+// RunSyncParallelOpts is RunSyncParallel with the full option set: dynamic
+// rebalancing (parity with RunSyncRebalanced — the policy sees identical
+// per-machine times and its migrations are charged identically) and fault
+// injection with checkpoint recovery. Placement changes recompile the gather
+// blocks and re-derive each worker's group spans against them; the vertex
+// shard bounds stay fixed, which affects host-side balance only, never
+// results or accounting.
+func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster, opts Options) (*Result, []V, error) {
+	rb := opts.Rebalancer
 	if cl.Size() != pl.M {
 		return nil, nil, fmt.Errorf("engine: placement has %d machines, cluster %d", pl.M, cl.Size())
 	}
@@ -76,19 +87,17 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 		W = 1
 	}
 	bounds := shardBounds(blocks, n, W)
-	spans := make([]span, W*pl.M)
-	for w := 0; w < W; w++ {
-		for p := 0; p < pl.M; p++ {
-			keys := blocks[p].byDst.Keys
-			lo := sort.Search(len(keys), func(i int) bool { return keys[i] >= bounds[w] })
-			hi := sort.Search(len(keys), func(i int) bool { return keys[i] >= bounds[w+1] })
-			spans[w*pl.M+p] = span{lo: int32(lo), hi: int32(hi)}
-		}
-	}
+	spans := shardSpans(blocks, bounds, pl.M, W)
 
 	front := newFrontier(n)
 	front.fill()
 	next := newFrontier(n)
+
+	ft, err := newFTRun[V](opts.Fault, cl)
+	if err != nil {
+		return nil, nil, err
+	}
+	ft.baseline(vals, front.bits, front.count, account)
 
 	// Per-run scratch, reused across supersteps. workC holds per-(worker,
 	// machine) counter shards merged after each step; dirty[w] lists the
@@ -114,6 +123,7 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
+		ft.beforeStep(step, account)
 		clear(workC)
 		clear(changedFlags)
 		clear(nextCounts)
@@ -267,6 +277,22 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 		}
 		account.Superstep(counters)
 
+		// Dynamic rebalancing hook, identical to RunSyncRebalanced's; the new
+		// placement arrives with freshly compiled blocks and worker spans.
+		if rb != nil {
+			last := account.LastStep()
+			if owner, moved, ok := rb.Decide(step, last.PerMachine, pl); ok {
+				newPl, err := NewPlacement(g, owner, pl.M)
+				if err != nil {
+					return nil, nil, fmt.Errorf("engine: rebalance at step %d: %w", step, err)
+				}
+				pl = newPl
+				blocks = pl.blocks(both)
+				spans = shardSpans(blocks, bounds, pl.M, W)
+				account.Stall(cl.Net.TransferTime(float64(moved)*migratedEdgeBytes), "migrate")
+			}
+		}
+
 		// Reset accumulators: O(gathered) after a sparse step.
 		if sparse {
 			var zero A
@@ -286,10 +312,8 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 		for _, c := range changedFlags {
 			anyChanged = anyChanged || c
 		}
-		if !anyChanged {
-			break
-		}
-		if !applyAll {
+		terminated := !anyChanged
+		if !applyAll && !terminated {
 			// Finalize the next frontier from the per-worker activation
 			// lists (bits were set during apply), then swap.
 			total := 0
@@ -310,13 +334,55 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 			front, next = next, front
 			next.reset()
 			if front.count == 0 {
-				break
+				terminated = true
 			}
+		}
+
+		// Fault barrier: checkpoint if due, then fire a scheduled crash and
+		// roll back onto the repartitioned survivors (see RunSyncOpts).
+		restore, newPl, err := ft.barrier(step, terminated, account, vals, front.bits, front.count, pl)
+		if err != nil {
+			return nil, nil, err
+		}
+		if newPl != nil {
+			pl = newPl
+			blocks = pl.blocks(both)
+			spans = shardSpans(blocks, bounds, pl.M, W)
+		}
+		if restore != nil {
+			copy(vals, restore.Vals)
+			front.restore(restore.Active, restore.ActiveCount)
+			next.reset()
+			if touched != nil {
+				// Zero stamps never collide with the positive replay stamps.
+				clear(touched)
+			}
+			step = restore.Step - 1 // loop increment lands on restore.Step
+			continue
+		}
+		if terminated {
+			break
 		}
 	}
 
 	res := account.Finish(prog.Name(), g.Name, nil)
+	ft.finish(res)
 	return res, vals, nil
+}
+
+// shardSpans binary-searches each worker's contiguous group range within
+// every machine's destination-grouped block for the given vertex cut points.
+func shardSpans(blocks []machineBlocks, bounds []graph.VertexID, m, workers int) []span {
+	spans := make([]span, workers*m)
+	for w := 0; w < workers; w++ {
+		for p := 0; p < m; p++ {
+			keys := blocks[p].byDst.Keys
+			lo := sort.Search(len(keys), func(i int) bool { return keys[i] >= bounds[w] })
+			hi := sort.Search(len(keys), func(i int) bool { return keys[i] >= bounds[w+1] })
+			spans[w*m+p] = span{lo: int32(lo), hi: int32(hi)}
+		}
+	}
+	return spans
 }
 
 // shardBounds splits the vertex space into worker ranges balanced by

@@ -17,6 +17,15 @@ import (
 // function; the equivalence suite in internal/apps enforces exactly that.
 // Use RunSync for real work: it computes the same answer faster.
 func RunSyncReference[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
+	return RunSyncReferenceOpts[V, A](prog, pl, cl, Options{})
+}
+
+// RunSyncReferenceOpts is RunSyncReference with the full option set
+// (rebalancing and fault injection), so the executable specification covers
+// the optional behaviours too and the equivalence suite can pin the fast
+// engines against it under rebalancing and fault schedules.
+func RunSyncReferenceOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster, opts Options) (*Result, []V, error) {
+	rb := opts.Rebalancer
 	if cl.Size() != pl.M {
 		return nil, nil, fmt.Errorf("engine: placement has %d machines, cluster %d", pl.M, cl.Size())
 	}
@@ -51,12 +60,21 @@ func RunSyncReference[V, A any](prog Program[V, A], pl *Placement, cl *cluster.C
 	both := prog.Direction() == GatherBoth
 	account := NewAccountant(cl, prog.Coeffs())
 
+	// frontCount tracks the active-set size for checkpointing.
+	frontCount := n
+	ft, err := newFTRun[V](opts.Fault, cl)
+	if err != nil {
+		return nil, nil, err
+	}
+	ft.baseline(vals, active, frontCount, account)
+
 	// Per-superstep scratch, allocated once and cleared in place.
 	counters := make([]StepCounters, pl.M)
 
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
+		ft.beforeStep(step, account)
 		clear(counters)
 
 		// Gather phase: every machine walks its local edges and accumulates
@@ -136,22 +154,58 @@ func RunSyncReference[V, A any](prog Program[V, A], pl *Placement, cl *cluster.C
 
 		account.Superstep(counters)
 
+		// Dynamic rebalancing hook, identical to RunSyncRebalanced's.
+		if rb != nil {
+			last := account.LastStep()
+			if owner, moved, ok := rb.Decide(step, last.PerMachine, pl); ok {
+				newPl, err := NewPlacement(g, owner, pl.M)
+				if err != nil {
+					return nil, nil, fmt.Errorf("engine: rebalance at step %d: %w", step, err)
+				}
+				pl = newPl
+				account.Stall(cl.Net.TransferTime(float64(moved)*migratedEdgeBytes), "migrate")
+			}
+		}
+
 		// Reset accumulators for the next superstep.
 		clear(has)
 		clear(acc)
 
-		if !anyChanged {
-			break
-		}
-		if !applyAll {
+		terminated := !anyChanged
+		if !applyAll && !terminated {
 			active, nextActive = nextActive, active
 			clear(nextActive)
-			if nextCount == 0 {
-				break
+			frontCount = nextCount
+			if frontCount == 0 {
+				terminated = true
 			}
+		}
+
+		// Fault barrier: checkpoint if due, then fire a scheduled crash and
+		// roll back onto the repartitioned survivors (see RunSyncOpts).
+		restore, newPl, err := ft.barrier(step, terminated, account, vals, active, frontCount, pl)
+		if err != nil {
+			return nil, nil, err
+		}
+		if newPl != nil {
+			pl = newPl
+		}
+		if restore != nil {
+			copy(vals, restore.Vals)
+			copy(active, restore.Active)
+			frontCount = restore.ActiveCount
+			clear(nextActive)
+			// Zero stamps never collide with the positive replay stamps.
+			clear(touched)
+			step = restore.Step - 1 // loop increment lands on restore.Step
+			continue
+		}
+		if terminated {
+			break
 		}
 	}
 
 	res := account.Finish(prog.Name(), g.Name, nil)
+	ft.finish(res)
 	return res, vals, nil
 }

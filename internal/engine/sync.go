@@ -86,12 +86,21 @@ const migratedEdgeBytes = 48
 // floating-point re-association on sparse ones (exactly for min/max/integer
 // Sums).
 func RunSync[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster) (*Result, []V, error) {
-	return RunSyncRebalanced[V, A](prog, pl, cl, nil)
+	return RunSyncOpts[V, A](prog, pl, cl, Options{})
 }
 
 // RunSyncRebalanced is RunSync with an optional dynamic rebalancing policy
 // invoked after every superstep (nil behaves exactly like RunSync).
 func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster, rb Rebalancer) (*Result, []V, error) {
+	return RunSyncOpts[V, A](prog, pl, cl, Options{Rebalancer: rb})
+}
+
+// RunSyncOpts is RunSync with the full option set: an optional dynamic
+// rebalancing policy invoked after every superstep, and an optional fault
+// configuration enabling deterministic fault injection, superstep
+// checkpointing and crash recovery (see FaultConfig).
+func RunSyncOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster, opts Options) (*Result, []V, error) {
+	rb := opts.Rebalancer
 	if cl.Size() != pl.M {
 		return nil, nil, fmt.Errorf("engine: placement has %d machines, cluster %d", pl.M, cl.Size())
 	}
@@ -120,6 +129,12 @@ func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.
 	front.fill()
 	next := newFrontier(n)
 
+	ft, err := newFTRun[V](opts.Fault, cl)
+	if err != nil {
+		return nil, nil, err
+	}
+	ft.baseline(vals, front.bits, front.count, account)
+
 	// Per-superstep scratch, allocated once and reused. touched/contribs
 	// back the sparse sweep's per-(machine, destination) partial accounting;
 	// dirty lists the destinations gathered into during a sparse step so the
@@ -138,6 +153,7 @@ func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
+		ft.beforeStep(step, account)
 		clear(counters)
 		for p := range counters {
 			// Per-vertex scheduling bookkeeping is charged every superstep
@@ -299,21 +315,48 @@ func RunSyncRebalanced[V, A any](prog Program[V, A], pl *Placement, cl *cluster.
 			clear(acc)
 		}
 
-		if !anyChanged {
-			break
-		}
-		if !applyAll {
+		terminated := !anyChanged
+		if !applyAll && !terminated {
 			front, next = next, front
 			next.reset()
 			// The frontier count is maintained live by the apply phase, so
 			// termination needs no O(|V|) emptiness scan.
 			if front.count == 0 {
-				break
+				terminated = true
 			}
+		}
+
+		// Fault barrier: write a due checkpoint, then fire a scheduled crash.
+		// On a crash the run rolls back to the returned checkpoint and resumes
+		// on the repartitioned survivor placement; replayed supersteps are
+		// charged again — lost work is the recovery overhead being measured.
+		restore, newPl, err := ft.barrier(step, terminated, account, vals, front.bits, front.count, pl)
+		if err != nil {
+			return nil, nil, err
+		}
+		if newPl != nil {
+			pl = newPl
+			blocks = pl.blocks(both)
+		}
+		if restore != nil {
+			copy(vals, restore.Vals)
+			front.restore(restore.Active, restore.ActiveCount)
+			next.reset()
+			if touched != nil {
+				// Stamps are always positive, so zeroing cannot collide with
+				// the stamps replayed steps will generate.
+				clear(touched)
+			}
+			step = restore.Step - 1 // loop increment lands on restore.Step
+			continue
+		}
+		if terminated {
+			break
 		}
 	}
 
 	res := account.Finish(prog.Name(), g.Name, nil)
+	ft.finish(res)
 	return res, vals, nil
 }
 

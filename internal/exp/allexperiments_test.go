@@ -33,6 +33,7 @@ func TestEveryExperimentProducesWellFormedTables(t *testing.T) {
 		{"ingress", wrap(lab.IngressStudy)},
 		{"dynamic", wrap(lab.DynamicStudy)},
 		{"amortization", wrap(lab.AmortizationStudy)},
+		{"recovery", wrap(lab.RecoveryStudy)},
 		{"freqsweep", wrap(lab.FrequencySweep)},
 		{"abl-hybrid", wrap(lab.AblationHybridThreshold)},
 		{"abl-ginger", wrap(lab.AblationGingerGamma)},

@@ -430,6 +430,59 @@ func TestDynamicStudy(t *testing.T) {
 	}
 }
 
+func parseSeconds(t *testing.T, cell string) float64 {
+	t.Helper()
+	var v float64
+	var unit string
+	if _, err := fmt.Sscanf(cell, "%f%s", &v, &unit); err != nil {
+		t.Fatalf("cannot parse seconds cell %q: %v", cell, err)
+	}
+	switch unit {
+	case "s":
+		return v
+	case "ms":
+		return v * 1e-3
+	case "µs":
+		return v * 1e-6
+	}
+	t.Fatalf("unknown unit in seconds cell %q", cell)
+	return 0
+}
+
+func TestRecoveryStudy(t *testing.T) {
+	lab := testLab()
+	tab, err := lab.RecoveryStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		clean := parseSeconds(t, row[1])
+		crashSmall := parseSeconds(t, row[3])
+		crashBig := parseSeconds(t, row[4])
+		restart := parseSeconds(t, row[5])
+		// A crash always costs more than the fault-free run at the same
+		// checkpoint interval, and recovery from a checkpoint never loses to
+		// restarting from scratch.
+		if crashSmall <= clean || crashBig <= clean {
+			t.Errorf("interval %s: crash runs (%v, %v) not above fault-free %v",
+				row[0], crashSmall, crashBig, clean)
+		}
+		if restart < crashSmall {
+			t.Errorf("interval %s: full restart %v beat checkpoint recovery %v",
+				row[0], restart, crashSmall)
+		}
+	}
+	// Checkpoint overhead shrinks as the interval grows.
+	first := parseSeconds(t, tab.Rows[0][1])
+	last := parseSeconds(t, tab.Rows[len(tab.Rows)-1][1])
+	if last >= first {
+		t.Errorf("fault-free makespan did not shrink with sparser checkpoints: %v vs %v", last, first)
+	}
+}
+
 func TestAmortizationStudy(t *testing.T) {
 	lab := testLab()
 	tab, err := lab.AmortizationStudy()

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -65,10 +66,26 @@ func FuzzReadBinary(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// The binary header is trusted for counts, but the edge slice must
-		// match the header and never exceed what the payload provided.
-		if g.NumEdges() < 0 {
-			t.Fatal("negative edge count")
+		checkParsed(t, g)
+		// Anything that parses must survive a write/read round trip exactly.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("re-encoding a parsed graph: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding a parsed graph: %v", err)
+		}
+		if again.NumVertices != g.NumVertices || again.NumEdges() != g.NumEdges() ||
+			math.Float64bits(again.Alpha) != math.Float64bits(g.Alpha) {
+			t.Fatalf("round trip changed shape: %d/%d/%v vs %d/%d/%v",
+				again.NumVertices, again.NumEdges(), again.Alpha,
+				g.NumVertices, g.NumEdges(), g.Alpha)
+		}
+		for i := range g.Edges {
+			if again.Edges[i] != g.Edges[i] {
+				t.Fatalf("round trip changed edge %d", i)
+			}
 		}
 	})
 }

@@ -151,14 +151,17 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	g.Edges = make([]Edge, 0, prealloc)
 	rec := make([]byte, 8)
+	n := uint32(g.NumVertices)
 	for i := uint64(0); i < numEdges; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("graph: reading edge %d of %d: %w", i, numEdges, err)
 		}
-		g.Edges = append(g.Edges, Edge{
-			Src: VertexID(binary.LittleEndian.Uint32(rec[0:])),
-			Dst: VertexID(binary.LittleEndian.Uint32(rec[4:])),
-		})
+		src := binary.LittleEndian.Uint32(rec[0:])
+		dst := binary.LittleEndian.Uint32(rec[4:])
+		if src >= n || dst >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) outside %d vertices", i, src, dst, n)
+		}
+		g.Edges = append(g.Edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
 	}
 	return g, nil
 }
