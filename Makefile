@@ -1,6 +1,6 @@
 # Developer entry points. The repo needs only the Go toolchain.
 
-.PHONY: build test check bench
+.PHONY: build test check bench fuzz-smoke golden-update
 
 build:
 	go build ./...
@@ -8,13 +8,29 @@ build:
 test:
 	go test ./...
 
-# check is the pre-merge gate: static analysis plus the race detector over the
+# check is the pre-merge gate: static analysis, the race detector over the
 # packages that run goroutines (the destination-sharded engine, including its
 # fault-recovery paths exercised by the chaos suite) or are otherwise
-# concurrency-sensitive.
+# concurrency-sensitive (the metrics registry), and a short fuzz pass over
+# every decoder/encoder boundary.
 check:
 	go vet ./...
-	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault
+	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace
+	$(MAKE) fuzz-smoke
+
+# fuzz-smoke runs each fuzz target briefly — enough to exercise the seed
+# corpus plus a few thousand mutations, cheap enough for every merge. Longer
+# campaigns: go test -fuzz FuzzChromeTrace -fuzztime 5m ./internal/trace
+FUZZTIME ?= 5s
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzChromeTrace -fuzztime $(FUZZTIME) ./internal/trace
+	go test -run '^$$' -fuzz FuzzPrometheus -fuzztime $(FUZZTIME) ./internal/trace
+	go test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime $(FUZZTIME) ./internal/engine
+
+# golden-update rewrites the experiment golden files after an intentional
+# accounting or formatting change; review the testdata diff before committing.
+golden-update:
+	go test ./internal/exp -run TestGoldenTables -update
 
 # bench runs the engine gather micro-benchmarks whose edges/s trajectory is
 # tracked in BENCH_ENGINE.json.

@@ -20,6 +20,7 @@ import (
 	"proxygraph/internal/exp"
 	"proxygraph/internal/metrics"
 	"proxygraph/internal/report"
+	"proxygraph/internal/trace"
 )
 
 type experiment struct {
@@ -45,6 +46,7 @@ func experiments() []experiment {
 		}},
 		{"table2", "graphs with fitted alphas", one((*exp.Lab).TableII)},
 		{"fig2", "estimated vs real speedup scaling", one((*exp.Lab).Fig2)},
+		{"fig4", "imbalanced vs balanced per-machine execution profile", one((*exp.Lab).Fig4)},
 		{"fig6", "power-law degree distribution", one((*exp.Lab).Fig6)},
 		{"fig8a", "CCR accuracy, c4 ladder", one((*exp.Lab).Fig8a)},
 		{"fig8b", "CCR accuracy, 2xlarge categories", one((*exp.Lab).Fig8b)},
@@ -84,6 +86,9 @@ func main() {
 		seed  = flag.Uint64("seed", 42, "experiment seed")
 		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		html  = flag.String("html", "", "additionally write a self-contained HTML report here")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every traced engine run here")
+		metricsOut = flag.String("metrics-out", "", "write Prometheus text-format metrics aggregated over the session here")
 	)
 	flag.Parse()
 
@@ -95,28 +100,38 @@ func main() {
 		return
 	}
 
+	selected, err := selectExperiments(*which, exps)
+	if err != nil {
+		fatal(err)
+	}
 	names := map[string]experiment{}
-	var order []string
 	for _, e := range exps {
 		names[e.name] = e
-		order = append(order, e.name)
-	}
-	var selected []string
-	if *which == "all" {
-		selected = order
-	} else {
-		for _, n := range strings.Split(*which, ",") {
-			n = strings.TrimSpace(n)
-			if _, ok := names[n]; !ok {
-				known := append([]string(nil), order...)
-				sort.Strings(known)
-				fatal(fmt.Errorf("unknown experiment %q; known: %s", n, strings.Join(known, ", ")))
-			}
-			selected = append(selected, n)
-		}
 	}
 
-	lab := exp.NewLab(exp.Config{Scale: *scale, Seed: *seed})
+	// Open observability outputs before any experiment runs: a bad path must
+	// fail in milliseconds, not after the whole catalog.
+	var traceFile, metricsFile *os.File
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(fmt.Errorf("-trace-out: %w", err))
+		}
+		traceFile = f
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(fmt.Errorf("-metrics-out: %w", err))
+		}
+		metricsFile = f
+	}
+	if traceFile != nil || metricsFile != nil {
+		rec = trace.NewRecorder()
+	}
+
+	lab := exp.NewLab(exp.Config{Scale: *scale, Seed: *seed, Collector: rec})
 	var rep *report.Report
 	if *html != "" {
 		rep = report.New("proxygraph: paper reproduction",
@@ -155,6 +170,53 @@ func main() {
 		}
 		fmt.Printf("# wrote HTML report with %d sections to %s\n", rep.Len(), *html)
 	}
+	if traceFile != nil {
+		err := trace.WriteChromeTrace(traceFile, rec.Events)
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("-trace-out: %w", err))
+		}
+		fmt.Printf("# wrote %d trace events to %s\n", len(rec.Events), *traceOut)
+	}
+	if metricsFile != nil {
+		reg := trace.NewRegistry()
+		trace.Observe(reg, rec.Events)
+		err := reg.WritePrometheus(metricsFile)
+		if cerr := metricsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("-metrics-out: %w", err))
+		}
+		fmt.Printf("# wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// selectExperiments resolves the -exp flag against the catalog: "all" keeps
+// catalog order, otherwise a comma-separated list is validated name by name.
+func selectExperiments(which string, exps []experiment) ([]string, error) {
+	names := map[string]bool{}
+	var order []string
+	for _, e := range exps {
+		names[e.name] = true
+		order = append(order, e.name)
+	}
+	if which == "all" {
+		return order, nil
+	}
+	var selected []string
+	for _, n := range strings.Split(which, ",") {
+		n = strings.TrimSpace(n)
+		if !names[n] {
+			known := append([]string(nil), order...)
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown experiment %q; known: %s", n, strings.Join(known, ", "))
+		}
+		selected = append(selected, n)
+	}
+	return selected, nil
 }
 
 func fatal(err error) {

@@ -27,6 +27,7 @@ import (
 	"proxygraph/internal/graph"
 	"proxygraph/internal/metrics"
 	"proxygraph/internal/partition"
+	"proxygraph/internal/trace"
 )
 
 func main() {
@@ -40,7 +41,9 @@ func main() {
 		estimator   = flag.String("estimator", "proxy", "CCR source: proxy, prior-work, default")
 		poolFile    = flag.String("pool", "", "CCR pool JSON from cmd/profiler (overrides -estimator)")
 		seed        = flag.Uint64("seed", 42, "run seed")
-		trace       = flag.Bool("trace", false, "print the superstep timeline")
+		timeline    = flag.Bool("trace", false, "print the superstep timeline")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run here (open chrome://tracing or ui.perfetto.dev)")
+		metricsOut  = flag.String("metrics-out", "", "write Prometheus text-format metrics of the run here")
 
 		faultSeed  = flag.Uint64("fault-seed", 0, "fault schedule seed (0 disables fault injection)")
 		crashes    = flag.Int("crashes", 0, "scheduled machine crashes")
@@ -88,16 +91,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var res *engine.Result
-	if opts == nil {
-		res, err = app.Run(pl, cl)
-	} else {
-		fr, ok := app.(apps.OptsRunner)
-		if !ok {
-			fatal(fmt.Errorf("%s does not run on the synchronous GAS engine; fault injection and checkpointing need one of: pagerank, connected_components, bfs", app.Name()))
-		}
-		res, err = fr.RunOpts(pl, cl, *opts)
+	// Open the observability outputs before the run so a bad path fails fast
+	// instead of after minutes of simulation.
+	outs, err := openSinks(*traceOut, *metricsOut)
+	if err != nil {
+		fatal(err)
 	}
+	var rec *trace.Recorder
+	if outs != nil {
+		rec = trace.NewRecorder()
+	}
+	res, err := runTraced(app, pl, cl, opts, rec)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,10 +123,104 @@ func main() {
 		fmt.Printf("fault schedule     %s\n", sched)
 		fmt.Printf("checkpoints        %d written, %d recoveries\n", res.Checkpoints, res.Recoveries)
 	}
-	if *trace {
+	if *timeline {
 		fmt.Println()
 		fmt.Print(engine.TraceGantt(res, 48))
 	}
+	if rec != nil {
+		if err := outs.write(rec.Events); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(trace.Summarize(rec.Events).String())
+	}
+}
+
+// runTraced executes the app through the richest entry point the requested
+// options need. Plain runs with no collector take App.Run; anything with
+// fault injection or a collector needs the full-options engine path (or, for
+// the async Coloring, its Trace field).
+func runTraced(app apps.App, pl *engine.Placement, cl *cluster.Cluster,
+	opts *engine.Options, rec *trace.Recorder) (*engine.Result, error) {
+	if opts == nil && rec == nil {
+		return app.Run(pl, cl)
+	}
+	full := engine.Options{}
+	if opts != nil {
+		full = *opts
+	}
+	if rec != nil {
+		full.Trace = rec
+	}
+	if fr, ok := app.(apps.OptsRunner); ok {
+		return fr.RunOpts(pl, cl, full)
+	}
+	if c, ok := app.(*apps.Coloring); ok && opts == nil {
+		c.Trace = rec
+		return c.Run(pl, cl)
+	}
+	if opts != nil {
+		return nil, fmt.Errorf("%s does not run on the synchronous GAS engine; fault injection and checkpointing need one of: pagerank, connected_components, bfs", app.Name())
+	}
+	return nil, fmt.Errorf("%s does not support execution tracing; -trace-out/-metrics-out need one of: pagerank, connected_components, bfs, coloring", app.Name())
+}
+
+// sinks holds the pre-opened observability output files.
+type sinks struct {
+	traceFile   *os.File
+	metricsFile *os.File
+}
+
+// openSinks creates the requested output files up front, returning nil when
+// neither flag was given.
+func openSinks(tracePath, metricsPath string) (*sinks, error) {
+	if tracePath == "" && metricsPath == "" {
+		return nil, nil
+	}
+	s := &sinks{}
+	var err error
+	if tracePath != "" {
+		if s.traceFile, err = os.Create(tracePath); err != nil {
+			return nil, fmt.Errorf("-trace-out: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		if s.metricsFile, err = os.Create(metricsPath); err != nil {
+			if s.traceFile != nil {
+				s.traceFile.Close()
+			}
+			return nil, fmt.Errorf("-metrics-out: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// write renders the recorded event stream into every open sink and closes
+// them.
+func (s *sinks) write(events []trace.Event) error {
+	if s.traceFile != nil {
+		err := trace.WriteChromeTrace(s.traceFile, events)
+		if cerr := s.traceFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		fmt.Printf("trace              %s (%d events)\n", s.traceFile.Name(), len(events))
+	}
+	if s.metricsFile != nil {
+		reg := trace.NewRegistry()
+		trace.Observe(reg, events)
+		err := reg.WritePrometheus(s.metricsFile)
+		if cerr := s.metricsFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("-metrics-out: %w", err)
+		}
+		fmt.Printf("metrics            %s\n", s.metricsFile.Name())
+	}
+	return nil
 }
 
 // faultHorizon bounds where scheduled fault events land: the first 16
@@ -132,6 +230,9 @@ const faultHorizon = 16
 // faultOptions translates the fault flags into engine options. A nil result
 // means the plain Run path (no injection, no checkpointing).
 func faultOptions(cl *cluster.Cluster, seed uint64, crashes, stragglers, netFaults, checkpoint int, recovery string) (*engine.Options, string, error) {
+	if checkpoint < 0 {
+		return nil, "", fmt.Errorf("-checkpoint interval must be non-negative, got %d", checkpoint)
+	}
 	var policy engine.RecoveryPolicy
 	switch recovery {
 	case "checkpoint":

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"proxygraph/internal/apps"
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/core"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/partition"
+	"proxygraph/internal/trace"
+)
+
+func testCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(
+		cluster.LocalXeon("xeon-4c", 4, 2.5),
+		cluster.LocalXeon("xeon-12c", 12, 2.5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestFaultOptionsValidation(t *testing.T) {
+	cl := testCluster(t)
+	cases := []struct {
+		name       string
+		seed       uint64
+		crashes    int
+		checkpoint int
+		recovery   string
+		wantErr    string
+	}{
+		{"negative checkpoint", 0, 0, -1, "checkpoint", "non-negative"},
+		{"negative checkpoint with faults", 7, 1, -3, "checkpoint", "non-negative"},
+		{"bad recovery policy", 7, 1, 2, "yolo", "unknown recovery policy"},
+		{"faults without seed", 0, 2, 0, "checkpoint", "without -fault-seed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := faultOptions(cl, tc.seed, tc.crashes, 0, 0, tc.checkpoint, tc.recovery)
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFaultOptionsPlainPath(t *testing.T) {
+	cl := testCluster(t)
+	opts, sched, err := faultOptions(cl, 0, 0, 0, 0, 0, "checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts != nil {
+		t.Fatalf("all-zero fault flags should select the plain Run path, got %+v", opts)
+	}
+	if sched != "" {
+		t.Fatalf("plain path should carry no schedule text, got %q", sched)
+	}
+}
+
+func TestFaultOptionsCheckpointOnly(t *testing.T) {
+	cl := testCluster(t)
+	opts, sched, err := faultOptions(cl, 0, 0, 0, 0, 4, "restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts == nil || opts.Fault == nil {
+		t.Fatal("checkpoint-only flags must produce fault options")
+	}
+	if opts.Fault.CheckpointEvery != 4 || opts.Fault.Policy != engine.RecoverRestart {
+		t.Fatalf("options mistranslated: %+v", opts.Fault)
+	}
+	if sched != "fault-free" {
+		t.Fatalf("schedule text = %q, want fault-free", sched)
+	}
+}
+
+func TestOpenSinksFailsFastOnUnwritablePath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "out.json")
+	if _, err := openSinks(bad, ""); err == nil {
+		t.Error("unwritable -trace-out must fail before the run")
+	}
+	if _, err := openSinks("", bad); err == nil {
+		t.Error("unwritable -metrics-out must fail before the run")
+	}
+	// A bad metrics path must not leave the trace file handle dangling open;
+	// at minimum the call errors and the good file exists but is closed.
+	good := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := openSinks(good, bad); err == nil {
+		t.Error("unwritable -metrics-out with good -trace-out must still fail")
+	}
+}
+
+func TestOpenSinksNilWhenUnset(t *testing.T) {
+	s, err := openSinks("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatal("no output flags should mean no sinks")
+	}
+}
+
+// TestRunTracedWritesArtifacts drives the full runapp observability path:
+// run PageRank with a recorder, write both sinks, and check the trace is
+// valid Chrome JSON and the metrics are non-empty Prometheus text.
+func TestRunTracedWritesArtifacts(t *testing.T) {
+	cl := testCluster(t)
+	g, err := gen.Generate(gen.RealGraphs()[0].Scale(1024), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.ByName("pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccr, err := core.Uniform{}.Estimate(cl, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := ccr.SharesFor(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := partition.Apply(partition.NewHybrid(), g, shares, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	outs, err := openSinks(tracePath, metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	res, err := runTraced(app, pl, cl, nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Supersteps == 0 {
+		t.Fatal("traced run produced no result")
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	if err := outs.write(rec.Events); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace output has no events")
+	}
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "proxygraph_steps_total") {
+		t.Fatalf("metrics output missing expected family:\n%s", prom)
+	}
+}
+
+// TestRunTracedRejectsUntraceableApp pins the error message for apps without
+// a traced entry point.
+func TestRunTracedRejectsUntraceableApp(t *testing.T) {
+	cl := testCluster(t)
+	g, err := gen.Generate(gen.RealGraphs()[0].Scale(1024), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := apps.ByName("triangle_count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccr, err := core.Uniform{}.Estimate(cl, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := ccr.SharesFor(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := partition.Apply(partition.NewHybrid(), g, shares, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runTraced(app, pl, cl, nil, trace.NewRecorder()); err == nil {
+		t.Fatal("triangle_count with a collector must be rejected")
+	}
+	// Without faults or a collector the plain path still works.
+	if _, err := runTraced(app, pl, cl, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"proxygraph/internal/engine"
 	"proxygraph/internal/graph"
 	"proxygraph/internal/rng"
+	"proxygraph/internal/trace"
 )
 
 // Coloring greedily colors the graph so no two adjacent vertices share a
@@ -22,6 +23,10 @@ type Coloring struct {
 	MaxRounds int
 	// Seed drives the random priorities.
 	Seed uint64
+	// Trace, when non-nil, receives structured execution events. Coloring
+	// does not implement OptsRunner (its async loop has no fault barriers),
+	// so the collector is attached here instead of via engine.Options.
+	Trace trace.Collector
 }
 
 // NewColoring returns the default configuration.
@@ -86,8 +91,10 @@ func (c *Coloring) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Resul
 	stamp := int64(0)
 
 	account := engine.NewAccountant(cl, c.coeffs())
+	account.SetCollector(c.Trace)
 	rounds := 0
 	for ; rounds < c.MaxRounds; rounds++ {
+		account.StepBegin(rounds, n, "async")
 		counters := make([]engine.StepCounters, pl.M)
 		changed := false
 		for p := 0; p < pl.M; p++ {

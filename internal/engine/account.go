@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"proxygraph/internal/cluster"
+	"proxygraph/internal/trace"
 )
 
 // CostCoeffs are an application's simulation cost constants: how much CPU and
@@ -137,6 +138,14 @@ type Accountant struct {
 	asyncBusy  []float64 // pending async time per machine, not yet folded
 	asyncDirty bool
 	trace      []StepTiming
+
+	// tc, when non-nil, receives structured execution events; curStep and
+	// curKind carry the engine's step context (set by StepBegin) into the
+	// charging methods. The engine's step number is authoritative — after a
+	// crash rollback it rewinds while a.steps keeps counting replayed work.
+	tc      trace.Collector
+	curStep int
+	curKind string
 }
 
 // NewAccountant creates an accountant for a run over cl.
@@ -153,6 +162,85 @@ func NewAccountant(cl *cluster.Cluster, coeffs CostCoeffs) *Accountant {
 		comm:      make([]float64, cl.Size()),
 		asyncBusy: make([]float64, cl.Size()),
 	}
+}
+
+// SetCollector installs a structured-event collector (nil disables tracing;
+// the engines pass Options.Trace through unconditionally). With a nil
+// collector every emission site is a single nil check, so accounting is
+// bit-identical and allocation-free relative to an untraced run.
+func (a *Accountant) SetCollector(c trace.Collector) {
+	a.tc = c
+}
+
+// emit forwards an event to the collector, if any.
+func (a *Accountant) emit(e trace.Event) {
+	if a.tc != nil {
+		a.tc.Event(e)
+	}
+}
+
+// StepBegin declares the step the next charges belong to: the engine's step
+// number (not a.steps, which diverges during crash replay), the frontier size
+// driving it, and the step kind ("sync" or "async").
+func (a *Accountant) StepBegin(step, frontier int, kind string) {
+	a.curStep = step
+	a.curKind = kind
+	a.emit(trace.Event{Kind: trace.KindStepBegin, Step: step, Machine: -1, Label: kind, Frontier: frontier})
+}
+
+// phaseSeconds attributes one machine's superstep compute time to the
+// gather, apply and bookkeeping phases by pricing each phase's work in
+// isolation. The phases share the machine's Amdahl serial behaviour, so the
+// parts do not sum exactly to the step's charged compute time — they are an
+// attribution for profiling, while Event.Seconds stays the exact charge.
+func phaseSeconds(sc StepCounters, c CostCoeffs, m cluster.Machine) (gather, apply, book float64) {
+	serial := c.SerialFrac
+	if sc.Gathers > 0 && sc.MaxUnit > 0 {
+		serial += skewSerialWeight * sc.MaxUnit / sc.Gathers
+	}
+	if sc.Gathers > 0 {
+		gather = m.ComputeTime(cluster.Work{
+			CPUOps:     sc.Gathers * c.OpsPerGather,
+			MemBytes:   sc.Gathers * c.BytesPerGather,
+			SerialFrac: serial,
+		})
+	}
+	if sc.Applies > 0 {
+		apply = m.ComputeTime(cluster.Work{
+			CPUOps:     sc.Applies * c.OpsPerApply,
+			MemBytes:   sc.Applies * c.BytesPerApply,
+			SerialFrac: c.SerialFrac,
+		})
+	}
+	w := cluster.Work{
+		CPUOps:     sc.Vertices * c.OpsPerVertex,
+		MemBytes:   sc.Vertices * c.BytesPerVertex,
+		SerialFrac: c.SerialFrac,
+	}
+	w.Add(cluster.Work{CPUOps: c.StepOverheadOps, SerialFrac: 1})
+	book = m.ComputeTime(w)
+	return gather, apply, book
+}
+
+// emitMachineStep reports one machine's charged step time plus its phase
+// attribution and raw counters.
+func (a *Accountant) emitMachineStep(p int, sc StepCounters, m cluster.Machine, net cluster.Network, seconds float64) {
+	gather, apply, book := phaseSeconds(sc, a.coeffs, m)
+	a.tc.Event(trace.Event{
+		Kind:          trace.KindMachineStep,
+		Step:          a.curStep,
+		Machine:       p,
+		Label:         a.curKind,
+		Seconds:       seconds,
+		GatherSeconds: gather,
+		ApplySeconds:  apply,
+		BookSeconds:   book,
+		CommSeconds:   net.TransferTime(sc.commBytes(a.coeffs)),
+		Gathers:       sc.Gathers,
+		Applies:       sc.Applies,
+		PartialsOut:   sc.PartialsOut,
+		UpdatesOut:    sc.UpdatesOut,
+	})
 }
 
 // setEffective installs the cluster the next phases are charged against
@@ -216,6 +304,15 @@ func (a *Accountant) Superstep(counters []StepCounters) {
 	}
 	a.simTime += worst
 	a.trace = append(a.trace, StepTiming{Kind: "sync", PerMachine: perMachine, Barrier: worst})
+	if a.tc != nil {
+		for p, sc := range counters {
+			if a.retiredAt[p] >= 0 {
+				continue
+			}
+			a.emitMachineStep(p, sc, eff.Machines[p], eff.Net, perMachine[p])
+		}
+		a.tc.Event(trace.Event{Kind: trace.KindStepEnd, Step: a.curStep, Machine: -1, Label: a.curKind, Seconds: worst})
+	}
 }
 
 // Async charges one asynchronous phase: machines work independently with no
@@ -237,6 +334,17 @@ func (a *Accountant) Async(counters []StepCounters) {
 		perMachine[p] = t
 	}
 	a.trace = append(a.trace, StepTiming{Kind: "async", PerMachine: perMachine})
+	if a.tc != nil {
+		for p, sc := range counters {
+			if a.retiredAt[p] >= 0 {
+				continue
+			}
+			a.emitMachineStep(p, sc, eff.Machines[p], eff.Net, perMachine[p])
+		}
+		// Async rounds have no barrier; the zero-second StepEnd just closes
+		// the round for exporters.
+		a.tc.Event(trace.Event{Kind: trace.KindStepEnd, Step: a.curStep, Machine: -1, Label: a.curKind})
+	}
 }
 
 // LastStep returns the most recently recorded phase timing (zero value when
@@ -263,6 +371,7 @@ func (a *Accountant) Stall(seconds float64, kind string) {
 	}
 	a.simTime += seconds
 	a.trace = append(a.trace, StepTiming{Kind: kind, PerMachine: per, Barrier: seconds})
+	a.emit(trace.Event{Kind: trace.KindStall, Step: a.curStep, Machine: -1, Label: kind, Seconds: seconds})
 }
 
 func (a *Accountant) foldAsync() {

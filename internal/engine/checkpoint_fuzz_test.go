@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzCheckpoint builds a representative checkpoint for the seed corpus.
+func fuzzCheckpoint() *Checkpoint[float64] {
+	return &Checkpoint[float64]{
+		Step:        7,
+		Vals:        []float64{0.5, math.Inf(1), -3, math.NaN(), 0},
+		Active:      []bool{true, false, true, false, false},
+		ActiveCount: 2,
+		Acct: AccountSnapshot{
+			SimSeconds:  1.25,
+			BusySeconds: []float64{0.5, 0.75},
+			CommBytes:   []float64{1024, 2048},
+			Supersteps:  7,
+			Gathers:     9000,
+		},
+	}
+}
+
+// FuzzDecodeCheckpoint hammers the binary checkpoint decoder with arbitrary
+// bytes: it must either reject the input with a clean error or produce a
+// checkpoint that re-encodes to the identical bytes (decode∘encode is the
+// identity on accepted inputs). The decoder's length validation means no
+// input may crash it or force a huge allocation.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	good, err := fuzzCheckpoint().EncodeBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-1])
+	f.Add(append(bytes.Clone(good), 0))
+	f.Add([]byte(checkpointMagic))
+	f.Add([]byte{})
+	// Header declaring a huge vertex count over a tiny payload.
+	huge := bytes.Clone(good)
+	for i := len(checkpointMagic) + 4 + 8; i < len(checkpointMagic)+4+16; i++ {
+		huge[i] = 0xff
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint[float64](data)
+		if err != nil {
+			return
+		}
+		out, err := c.EncodeBinary()
+		if err != nil {
+			t.Fatalf("accepted checkpoint failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode∘encode not identity: %d bytes in, %d out", len(data), len(out))
+		}
+	})
+}
+
+// TestCheckpointFuzzSeedRoundTrips keeps the seed corpus honest under plain
+// `go test`: the canonical encoding must decode and round-trip.
+func TestCheckpointFuzzSeedRoundTrips(t *testing.T) {
+	ck := fuzzCheckpoint()
+	data, err := ck.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint[float64](data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := got.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("round trip changed bytes")
+	}
+	if got.Step != ck.Step || got.ActiveCount != ck.ActiveCount || got.Acct.Supersteps != ck.Acct.Supersteps {
+		t.Fatalf("round trip changed fields: %+v", got)
+	}
+}

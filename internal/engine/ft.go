@@ -7,6 +7,7 @@ import (
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/graph"
 	"proxygraph/internal/rng"
+	"proxygraph/internal/trace"
 )
 
 // FaultInjector feeds a deterministic fault schedule into a synchronous run.
@@ -59,6 +60,10 @@ type Options struct {
 	Rebalancer Rebalancer
 	// Fault, when non-nil, enables fault injection and checkpointing.
 	Fault *FaultConfig
+	// Trace, when non-nil, receives structured execution events (see
+	// internal/trace). Nil disables tracing with zero behaviour change:
+	// accounting is bit-identical either way.
+	Trace trace.Collector
 }
 
 // ftRun drives one run's fault-tolerance protocol. A nil *ftRun is a valid
@@ -104,7 +109,14 @@ func (f *ftRun[V]) beforeStep(step int, a *Accountant) {
 	if f == nil || f.cfg.Injector == nil {
 		return
 	}
-	a.setEffective(f.cfg.Injector.Perturb(step, f.base))
+	eff := f.cfg.Injector.Perturb(step, f.base)
+	if eff != f.base {
+		// Perturb returns the base cluster pointer on healthy steps, so this
+		// fires exactly on perturbed ones — deterministically, since the
+		// injector is a pure function of the step number.
+		a.emit(trace.Event{Kind: trace.KindFault, Step: step, Machine: -1, Label: "perturb"})
+	}
+	a.setEffective(eff)
 }
 
 // barrier runs the fault protocol at the barrier ending `step`: write a
@@ -128,7 +140,12 @@ func (f *ftRun[V]) barrier(step int, terminated bool, a *Accountant, vals []V, a
 			return nil, nil, err
 		}
 		f.ckpt = snapshotCheckpoint(step+1, vals, active, activeCount, a)
-		a.Stall(f.storageSeconds(pl, vsize), "checkpoint")
+		stall := f.storageSeconds(pl, vsize)
+		a.emit(trace.Event{
+			Kind: trace.KindCheckpoint, Step: step + 1, Machine: -1,
+			Seconds: stall, Bytes: checkpointSize(len(vals), len(f.dead), vsize),
+		})
+		a.Stall(stall, "checkpoint")
 		f.checkpoints++
 	}
 	if f.cfg.Injector == nil || terminated {
@@ -151,6 +168,7 @@ func (f *ftRun[V]) barrier(step int, terminated bool, a *Accountant, vals []V, a
 	}
 	f.dead[p] = true
 	a.Retire(p)
+	a.emit(trace.Event{Kind: trace.KindCrash, Step: step, Machine: p})
 	newPl, moved, err := RepartitionSurvivors(pl, f.dead)
 	if err != nil {
 		return nil, nil, err
@@ -173,6 +191,14 @@ func (f *ftRun[V]) barrier(step int, terminated bool, a *Accountant, vals []V, a
 		}
 		seconds += f.storageSeconds(newPl, vsize)
 	}
+	policy := "restart"
+	if fromDisk {
+		policy = "checkpoint"
+	}
+	a.emit(trace.Event{
+		Kind: trace.KindRecovery, Step: step, Machine: p, Label: policy,
+		Resume: restore.Step, Seconds: seconds, Moved: moved,
+	})
 	a.Stall(seconds, "recover")
 	f.recoveries++
 	return restore, newPl, nil

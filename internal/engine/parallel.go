@@ -9,6 +9,7 @@ import (
 
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/graph"
+	"proxygraph/internal/trace"
 )
 
 // ParallelShards overrides RunSyncParallel's worker count when positive; zero
@@ -73,6 +74,7 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 	both := prog.Direction() == GatherBoth
 	blocks := pl.blocks(both)
 	account := NewAccountant(cl, prog.Coeffs())
+	account.SetCollector(opts.Trace)
 
 	// Destination sharding: vertex ranges balanced by gather-record count,
 	// plus each worker's contiguous group range within every machine's block.
@@ -123,6 +125,7 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
+		account.StepBegin(step, front.count, "sync")
 		ft.beforeStep(step, account)
 		clear(workC)
 		clear(changedFlags)
@@ -289,6 +292,7 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 				pl = newPl
 				blocks = pl.blocks(both)
 				spans = shardSpans(blocks, bounds, pl.M, W)
+				account.emit(trace.Event{Kind: trace.KindRebalance, Step: step, Machine: -1, Moved: moved})
 				account.Stall(cl.Net.TransferTime(float64(moved)*migratedEdgeBytes), "migrate")
 			}
 		}

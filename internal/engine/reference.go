@@ -6,6 +6,7 @@ import (
 
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/graph"
+	"proxygraph/internal/trace"
 )
 
 // RunSyncReference executes prog with the original edge-list engine: every
@@ -59,6 +60,7 @@ func RunSyncReferenceOpts[V, A any](prog Program[V, A], pl *Placement, cl *clust
 	applyAll := prog.ApplyAll()
 	both := prog.Direction() == GatherBoth
 	account := NewAccountant(cl, prog.Coeffs())
+	account.SetCollector(opts.Trace)
 
 	// frontCount tracks the active-set size for checkpointing.
 	frontCount := n
@@ -74,6 +76,7 @@ func RunSyncReferenceOpts[V, A any](prog Program[V, A], pl *Placement, cl *clust
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
+		account.StepBegin(step, frontCount, "sync")
 		ft.beforeStep(step, account)
 		clear(counters)
 
@@ -163,6 +166,7 @@ func RunSyncReferenceOpts[V, A any](prog Program[V, A], pl *Placement, cl *clust
 					return nil, nil, fmt.Errorf("engine: rebalance at step %d: %w", step, err)
 				}
 				pl = newPl
+				account.emit(trace.Event{Kind: trace.KindRebalance, Step: step, Machine: -1, Moved: moved})
 				account.Stall(cl.Net.TransferTime(float64(moved)*migratedEdgeBytes), "migrate")
 			}
 		}

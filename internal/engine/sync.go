@@ -6,6 +6,7 @@ import (
 
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/graph"
+	"proxygraph/internal/trace"
 )
 
 // Direction selects which edge endpoints a program gathers from.
@@ -122,6 +123,7 @@ func RunSyncOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluste
 	both := prog.Direction() == GatherBoth
 	blocks := pl.blocks(both)
 	account := NewAccountant(cl, prog.Coeffs())
+	account.SetCollector(opts.Trace)
 
 	// The frontier starts full: every vertex gathers in superstep 0, exactly
 	// as the reference engine's all-true active bitmap prescribes.
@@ -153,6 +155,7 @@ func RunSyncOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluste
 	maxSteps := prog.MaxSupersteps()
 	for step := 0; step < maxSteps; step++ {
 		rt.Step = step
+		account.StepBegin(step, front.count, "sync")
 		ft.beforeStep(step, account)
 		clear(counters)
 		for p := range counters {
@@ -297,6 +300,7 @@ func RunSyncOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluste
 				}
 				pl = newPl
 				blocks = pl.blocks(both)
+				account.emit(trace.Event{Kind: trace.KindRebalance, Step: step, Machine: -1, Moved: moved})
 				account.Stall(cl.Net.TransferTime(float64(moved)*migratedEdgeBytes), "migrate")
 			}
 		}

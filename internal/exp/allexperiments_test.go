@@ -21,6 +21,7 @@ func TestEveryExperimentProducesWellFormedTables(t *testing.T) {
 		{"table1", func() ([]*metrics.Table, error) { return []*metrics.Table{TableI()}, nil }},
 		{"table2", wrap(lab.TableII)},
 		{"fig2", wrap(lab.Fig2)},
+		{"fig4", wrap(lab.Fig4)},
 		{"fig6", wrap(lab.Fig6)},
 		{"fig8a", wrap(lab.Fig8a)},
 		{"fig8b", wrap(lab.Fig8b)},

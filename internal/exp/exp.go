@@ -22,6 +22,7 @@ import (
 	"proxygraph/internal/gen"
 	"proxygraph/internal/graph"
 	"proxygraph/internal/partition"
+	"proxygraph/internal/trace"
 )
 
 // Config controls experiment scale and determinism.
@@ -30,6 +31,10 @@ type Config struct {
 	Scale int
 	// Seed drives all generation and hashing.
 	Seed uint64
+	// Collector, when non-nil, receives structured execution events from
+	// every engine run an experiment performs through an OptsRunner app
+	// (cmd/bench's -trace-out/-metrics-out plumb a recorder through here).
+	Collector trace.Collector
 }
 
 // DefaultConfig returns the benchmark-friendly configuration.
@@ -233,6 +238,19 @@ func (l *Lab) runWithSystem(cl *cluster.Cluster, sys System, app apps.App,
 	pl, err := partition.Apply(part, g, shares, l.Cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	return l.runApp(app, pl, cl)
+}
+
+// runApp executes the app, routing through the OptsRunner path when the lab
+// carries an event collector; apps without the full-options entry point (the
+// async Coloring, Triangle Count) run untraced, which changes nothing about
+// their results.
+func (l *Lab) runApp(app apps.App, pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	if l.Cfg.Collector != nil {
+		if fr, ok := app.(apps.OptsRunner); ok {
+			return fr.RunOpts(pl, cl, engine.Options{Trace: l.Cfg.Collector})
+		}
 	}
 	return app.Run(pl, cl)
 }

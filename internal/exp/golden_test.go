@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden files with the current output:
+//
+//	go test ./internal/exp -run TestGoldenTables -update
+//
+// Review the resulting testdata/*.golden diff like any other code change —
+// these files pin the rendered experiment tables byte-for-byte, so an
+// unexpected diff means an accounting, partitioning, or formatting change.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenTables locks the rendered output of a representative experiment
+// slice (scaling ladder, cross-category cluster, fault recovery, and the new
+// trace-derived execution profiles) against checked-in golden files. The whole
+// pipeline under each table — generation, proxy profiling, partitioning, all
+// three engines' accounting, and table formatting — is deterministic for a
+// fixed (Scale, Seed), so any byte of drift is a real behaviour change.
+func TestGoldenTables(t *testing.T) {
+	lab := NewLab(Config{Scale: 1024, Seed: 42})
+	cases := []struct {
+		name string
+		run  func() (interface{ String() string }, error)
+	}{
+		{"fig2", func() (interface{ String() string }, error) { return lab.Fig2() }},
+		{"fig4", func() (interface{ String() string }, error) { return lab.Fig4() }},
+		{"fig8a", func() (interface{ String() string }, error) { return lab.Fig8a() }},
+		{"recovery", func() (interface{ String() string }, error) { return lab.RecoveryStudy() }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tab, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.String()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from %s (rerun with -update if intended)\n--- want ---\n%s\n--- got ---\n%s",
+					path, want, got)
+			}
+		})
+	}
+}

@@ -56,14 +56,17 @@ func (l *Lab) RecoveryStudy() (*metrics.Table, error) {
 		return &fault.Schedule{Events: []fault.Event{{Kind: fault.Crash, Step: crashStep, Machine: machine}}}
 	}
 	run := func(inj engine.FaultInjector, every int, policy engine.RecoveryPolicy) (*engine.Result, error) {
-		return pr().RunOpts(pl, cl, engine.Options{Fault: &engine.FaultConfig{
-			Injector:        inj,
-			CheckpointEvery: every,
-			Policy:          policy,
-		}})
+		return pr().RunOpts(pl, cl, engine.Options{
+			Fault: &engine.FaultConfig{
+				Injector:        inj,
+				CheckpointEvery: every,
+				Policy:          policy,
+			},
+			Trace: l.Cfg.Collector,
+		})
 	}
 
-	base, err := pr().Run(pl, cl)
+	base, err := l.runApp(pr(), pl, cl)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package trace
+
+import "strconv"
+
+// frontierBuckets bounds the frontier-size histogram: decades up to a million
+// active vertices cover every graph in the repository.
+var frontierBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6}
+
+// Observer is a Collector that folds the event stream into a Registry. All
+// metric names carry the proxygraph_ prefix; per-machine series are labelled
+// machine="<index>". Attach it live via engine.Options.Trace, or replay a
+// Recorder through Observe after the run.
+type Observer struct {
+	reg *Registry
+}
+
+// NewObserver returns an observer populating reg.
+func NewObserver(reg *Registry) *Observer { return &Observer{reg: reg} }
+
+// Observe replays a recorded event stream into reg.
+func Observe(reg *Registry, events []Event) {
+	o := NewObserver(reg)
+	for _, e := range events {
+		o.Event(e)
+	}
+}
+
+// Event implements Collector.
+func (o *Observer) Event(e Event) {
+	r := o.reg
+	switch e.Kind {
+	case KindStepBegin:
+		r.Histogram("proxygraph_frontier_size", "Active vertices driving each superstep.",
+			frontierBuckets).Observe(float64(e.Frontier))
+	case KindMachineStep:
+		machine := strconv.Itoa(e.Machine)
+		phase := func(name string, seconds float64) {
+			r.Counter("proxygraph_machine_phase_seconds_total",
+				"Per-machine simulated time attributed to each execution phase.",
+				"machine", machine, "phase", name).Add(seconds)
+		}
+		phase("step", e.Seconds)
+		phase("gather", e.GatherSeconds)
+		phase("apply", e.ApplySeconds)
+		phase("book", e.BookSeconds)
+		phase("comm", e.CommSeconds)
+		count := func(name, help string, v float64) {
+			r.Counter(name, help, "machine", machine).Add(v)
+		}
+		count("proxygraph_machine_gathers_total", "Edge gathers charged per machine.", e.Gathers)
+		count("proxygraph_machine_applies_total", "Vertex applies charged per machine.", e.Applies)
+		count("proxygraph_machine_partials_out_total", "Gather partials sent to remote masters per machine.", e.PartialsOut)
+		count("proxygraph_machine_updates_out_total", "Mirror value updates sent per machine.", e.UpdatesOut)
+	case KindStepEnd:
+		r.Counter("proxygraph_steps_total", "Supersteps (sync) and rounds (async) executed.",
+			"kind", e.Label).Inc()
+		r.Counter("proxygraph_barrier_seconds_total",
+			"Simulated makespan advanced at superstep barriers.", "kind", e.Label).Add(e.Seconds)
+	case KindStall:
+		r.Counter("proxygraph_stalls_total", "Full-cluster stalls by kind.", "kind", e.Label).Inc()
+		r.Counter("proxygraph_stall_seconds_total", "Simulated time lost to full-cluster stalls.",
+			"kind", e.Label).Add(e.Seconds)
+	case KindFault:
+		r.Counter("proxygraph_faults_total", "Supersteps run under an injected perturbation.",
+			"kind", e.Label).Inc()
+	case KindCheckpoint:
+		r.Counter("proxygraph_checkpoints_total", "Superstep checkpoints written.").Inc()
+		r.Counter("proxygraph_checkpoint_bytes_total", "Encoded bytes of checkpoints written.").
+			Add(float64(e.Bytes))
+	case KindCrash:
+		r.Counter("proxygraph_crashes_total", "Permanent machine failures fired.").Inc()
+	case KindRecovery:
+		r.Counter("proxygraph_recoveries_total", "Crash recoveries performed.", "policy", e.Label).Inc()
+		r.Counter("proxygraph_recovery_seconds_total", "Simulated time charged to crash recovery.",
+			"policy", e.Label).Add(e.Seconds)
+		r.Counter("proxygraph_recovery_moved_edges_total",
+			"Edges re-shipped to survivors during recovery.", "policy", e.Label).Add(float64(e.Moved))
+	case KindRebalance:
+		r.Counter("proxygraph_rebalances_total", "Dynamic rebalancing migrations.").Inc()
+		r.Counter("proxygraph_rebalance_moved_edges_total",
+			"Edges migrated by dynamic rebalancing.").Add(float64(e.Moved))
+	}
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserverReplay(t *testing.T) {
+	r := NewRegistry()
+	Observe(r, syntheticRun())
+	out := expose(t, r)
+	for _, want := range []string{
+		`proxygraph_steps_total{kind="sync"} 2`,
+		`proxygraph_steps_total{kind="async"} 1`,
+		`proxygraph_barrier_seconds_total{kind="sync"} 3.5`,
+		`proxygraph_machine_phase_seconds_total{machine="1",phase="step"} 3.5`,
+		`proxygraph_machine_phase_seconds_total{machine="0",phase="gather"} 0.6`,
+		`proxygraph_machine_gathers_total{machine="1"} 150`,
+		`proxygraph_stall_seconds_total{kind="recover"} 0.75`,
+		"proxygraph_checkpoints_total 1",
+		"proxygraph_checkpoint_bytes_total 4096",
+		"proxygraph_crashes_total 1",
+		`proxygraph_recoveries_total{policy="checkpoint"} 1`,
+		`proxygraph_frontier_size_bucket{le="100"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObserverIsACollector pins the Observer to the live-attach use: feeding
+// events one at a time through the Collector interface must equal a replay.
+func TestObserverIsACollector(t *testing.T) {
+	var live Collector = NewObserver(NewRegistry())
+	for _, e := range syntheticRun() {
+		live.Event(e)
+	}
+	lr := live.(*Observer).reg
+	rr := NewRegistry()
+	Observe(rr, syntheticRun())
+	if expose(t, lr) != expose(t, rr) {
+		t.Error("live collection and replay disagree")
+	}
+}

@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MachineSummary aggregates one machine's activity across a run.
+type MachineSummary struct {
+	Machine int
+	// BusySeconds is the total charged step time (max of compute and comm,
+	// exactly what the accountant charged); the phase fields attribute its
+	// compute part.
+	BusySeconds                                           float64
+	GatherSeconds, ApplySeconds, BookSeconds, CommSeconds float64
+	// StragglerSteps counts the sync steps this machine set the barrier.
+	StragglerSteps int
+	// IdleSeconds is the time spent waiting at barriers for slower machines —
+	// the imbalance cost the paper's proxy-guided partitioning recovers.
+	IdleSeconds float64
+}
+
+// Summary is the straggler report distilled from an event stream.
+type Summary struct {
+	// SyncSteps counts superstep barriers, AsyncRounds async phases.
+	SyncSteps, AsyncRounds int
+	// MakespanSeconds replays the stream against the accountant's clock:
+	// barriers plus stalls plus folded async time.
+	MakespanSeconds float64
+	// BarrierSeconds sums sync barrier times; StallSeconds sums full-cluster
+	// stalls by kind.
+	BarrierSeconds float64
+	StallSeconds   map[string]float64
+	// Imbalance is the mean over sync steps of barrier time over the mean
+	// step time of the machines that ran (1.0 = perfectly balanced).
+	Imbalance float64
+	// Fault-protocol counts.
+	Checkpoints, Recoveries, Crashes, Rebalances int
+	CheckpointBytes                              int64
+	// Machines holds one entry per machine index seen in the stream.
+	Machines []MachineSummary
+}
+
+// Summarize folds an event stream into a Summary. It replaces the ad-hoc
+// straggler math experiments used to do on Result.Trace: the same numbers,
+// derived from the structured stream.
+func Summarize(events []Event) Summary {
+	// Same process cap as the Chrome exporter: a corrupt stream must not
+	// force a huge allocation.
+	const maxMachines = 4096
+	numMachines := 0
+	for _, e := range events {
+		if e.Machine+1 > numMachines && e.Machine < maxMachines {
+			numMachines = e.Machine + 1
+		}
+	}
+	s := Summary{
+		StallSeconds: map[string]float64{},
+		Machines:     make([]MachineSummary, numMachines),
+	}
+	for p := range s.Machines {
+		s.Machines[p].Machine = p
+	}
+
+	// Cursor replay for the makespan (see chrome.go for the semantics).
+	global := 0.0
+	machineT := make([]float64, numMachines)
+	stepStart := 0.0
+	fold := func() {
+		for _, t := range machineT {
+			if t > global {
+				global = t
+			}
+		}
+		for i := range machineT {
+			machineT[i] = global
+		}
+	}
+
+	// Per-step scratch: the machines that ran the current sync step.
+	type stepTime struct {
+		machine int
+		seconds float64
+	}
+	var cur []stepTime
+	imbalanceSum := 0.0
+	imbalanceSteps := 0
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindStepBegin:
+			if e.Label != "async" {
+				fold()
+			}
+			stepStart = global
+			cur = cur[:0]
+		case KindMachineStep:
+			if e.Machine < 0 || e.Machine >= numMachines {
+				continue
+			}
+			m := &s.Machines[e.Machine]
+			m.BusySeconds += e.Seconds
+			m.GatherSeconds += e.GatherSeconds
+			m.ApplySeconds += e.ApplySeconds
+			m.BookSeconds += e.BookSeconds
+			m.CommSeconds += e.CommSeconds
+			if e.Label == "async" {
+				machineT[e.Machine] += fin(e.Seconds)
+			} else {
+				machineT[e.Machine] = stepStart + fin(e.Seconds)
+				cur = append(cur, stepTime{machine: e.Machine, seconds: e.Seconds})
+			}
+		case KindStepEnd:
+			if e.Label == "async" {
+				s.AsyncRounds++
+				continue
+			}
+			s.SyncSteps++
+			s.BarrierSeconds += e.Seconds
+			global = stepStart + fin(e.Seconds)
+			for i := range machineT {
+				machineT[i] = global
+			}
+			if len(cur) > 0 {
+				mean := 0.0
+				for _, st := range cur {
+					mean += st.seconds
+				}
+				mean /= float64(len(cur))
+				for _, st := range cur {
+					m := &s.Machines[st.machine]
+					m.IdleSeconds += e.Seconds - st.seconds
+					if st.seconds >= e.Seconds {
+						m.StragglerSteps++
+					}
+				}
+				if mean > 0 {
+					imbalanceSum += e.Seconds / mean
+					imbalanceSteps++
+				}
+			}
+		case KindStall:
+			fold()
+			s.StallSeconds[e.Label] += e.Seconds
+			global += fin(e.Seconds)
+			for i := range machineT {
+				machineT[i] = global
+			}
+		case KindCheckpoint:
+			s.Checkpoints++
+			s.CheckpointBytes += e.Bytes
+		case KindCrash:
+			s.Crashes++
+		case KindRecovery:
+			s.Recoveries++
+		case KindRebalance:
+			s.Rebalances++
+		}
+	}
+	fold()
+	s.MakespanSeconds = global
+	if imbalanceSteps > 0 {
+		s.Imbalance = imbalanceSum / float64(imbalanceSteps)
+	}
+	return s
+}
+
+// fmtSeconds renders a duration compactly for the report.
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	}
+	return fmt.Sprintf("%.3fs", s)
+}
+
+// String renders the straggler report for terminals.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution summary: %d sync steps", s.SyncSteps)
+	if s.AsyncRounds > 0 {
+		fmt.Fprintf(&b, ", %d async rounds", s.AsyncRounds)
+	}
+	fmt.Fprintf(&b, ", makespan %s (barriers %s", fmtSeconds(s.MakespanSeconds), fmtSeconds(s.BarrierSeconds))
+	if len(s.StallSeconds) > 0 {
+		kinds := make([]string, 0, len(s.StallSeconds))
+		for k := range s.StallSeconds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, ", %s %s", k, fmtSeconds(s.StallSeconds[k]))
+		}
+	}
+	b.WriteString(")\n")
+	if s.Checkpoints+s.Crashes+s.Recoveries+s.Rebalances > 0 {
+		fmt.Fprintf(&b, "fault protocol: %d checkpoints (%d bytes), %d crashes, %d recoveries, %d rebalances\n",
+			s.Checkpoints, s.CheckpointBytes, s.Crashes, s.Recoveries, s.Rebalances)
+	}
+	if s.Imbalance > 0 {
+		fmt.Fprintf(&b, "step imbalance (barrier over mean machine time): %.2fx\n", s.Imbalance)
+	}
+	fmt.Fprintf(&b, "%-8s %10s %10s %10s %10s %10s %10s %10s\n",
+		"machine", "busy", "gather", "apply", "book", "comm", "idle", "straggler")
+	for _, m := range s.Machines {
+		fmt.Fprintf(&b, "%-8d %10s %10s %10s %10s %10s %10s %9dx\n",
+			m.Machine, fmtSeconds(m.BusySeconds), fmtSeconds(m.GatherSeconds), fmtSeconds(m.ApplySeconds),
+			fmtSeconds(m.BookSeconds), fmtSeconds(m.CommSeconds), fmtSeconds(m.IdleSeconds), m.StragglerSteps)
+	}
+	return b.String()
+}

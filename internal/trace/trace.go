@@ -1,0 +1,152 @@
+// Package trace is the simulator's structured observability layer: engines
+// emit typed execution events into a Collector, and this package turns the
+// stream into Chrome trace JSON (chrome.go), Prometheus text exposition
+// (registry.go, observer.go) or a straggler summary (summary.go).
+//
+// The event stream is part of the engine's determinism contract: for the same
+// program, placement, cluster and options, RunSyncReference, RunSync and
+// RunSyncParallel emit identical event sequences — every quantity in an Event
+// is one the equivalence suites already pin bit-identically across engines
+// (step counters, per-machine charged times, frontier sizes, fault protocol
+// decisions). The differential test in internal/apps locks this down.
+//
+// The package depends only on the standard library so every layer of the
+// simulator can import it without cycles.
+package trace
+
+// Kind discriminates event types.
+type Kind uint8
+
+const (
+	// KindStepBegin opens a superstep (or async round): Step, Frontier and
+	// Label ("sync" or "async") are set.
+	KindStepBegin Kind = iota
+	// KindMachineStep reports one machine's charged time for the step:
+	// Machine, Seconds (the max of compute and comm the accountant charged),
+	// the per-phase attribution (GatherSeconds/ApplySeconds/BookSeconds and
+	// the overlapped CommSeconds) and the raw step counters.
+	KindMachineStep
+	// KindStepEnd closes the step; for sync steps Seconds is the barrier time
+	// (the slowest machine) by which the makespan advanced.
+	KindStepEnd
+	// KindStall is a full-cluster pause (Label: "migrate", "checkpoint",
+	// "recover") of Seconds.
+	KindStall
+	// KindFault reports that the fault injector perturbed the cluster for
+	// this step (straggler throttling or network degradation).
+	KindFault
+	// KindCheckpoint is a superstep checkpoint write: Step is the superstep
+	// the checkpoint resumes at, Bytes its encoded footprint, Seconds the
+	// storage stall charged for it.
+	KindCheckpoint
+	// KindCrash is a permanent machine failure at the barrier ending Step.
+	KindCrash
+	// KindRecovery reports the recovery decision after a crash: Label is
+	// "checkpoint" or "restart", Resume the superstep execution rolls back
+	// to, Moved the edges re-shipped to survivors, Seconds the stall charged.
+	KindRecovery
+	// KindRebalance is a dynamic rebalancing migration: Moved edges changed
+	// machines (the migration stall follows as a KindStall "migrate" event).
+	KindRebalance
+)
+
+var kindNames = [...]string{
+	KindStepBegin:   "step-begin",
+	KindMachineStep: "machine-step",
+	KindStepEnd:     "step-end",
+	KindStall:       "stall",
+	KindFault:       "fault",
+	KindCheckpoint:  "checkpoint",
+	KindCrash:       "crash",
+	KindRecovery:    "recovery",
+	KindRebalance:   "rebalance",
+}
+
+// String names the kind for logs and exporters.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one typed execution event. It is a flat comparable struct — no
+// pointers, no slices — so collectors can compare, hash and store events
+// without allocation, and the cross-engine differential test can use ==.
+// Which fields are meaningful depends on Kind (see the Kind constants);
+// unused fields are zero. Machine is -1 for cluster-wide events.
+type Event struct {
+	Kind    Kind
+	Step    int
+	Machine int
+	// Label qualifies the kind: step kind ("sync"/"async"), stall kind,
+	// recovery policy.
+	Label string
+	// Frontier is the active-vertex count driving the step (KindStepBegin).
+	Frontier int
+	// Resume is the superstep a recovery rolls back to (KindRecovery).
+	Resume int
+	// Seconds is the event's charged simulated time.
+	Seconds float64
+	// GatherSeconds/ApplySeconds/BookSeconds attribute a machine's compute
+	// time to the gather, apply and bookkeeping phases; CommSeconds is the
+	// communication time overlapped with them (KindMachineStep).
+	GatherSeconds, ApplySeconds, BookSeconds, CommSeconds float64
+	// Raw step counters (KindMachineStep).
+	Gathers, Applies, PartialsOut, UpdatesOut float64
+	// Bytes is a data footprint (checkpoint encoding size).
+	Bytes int64
+	// Moved counts edges that changed machines (rebalance, recovery).
+	Moved int64
+}
+
+// Collector receives engine events. Implementations must not retain pointers
+// into engine state (events are flat values, so there are none to retain) and
+// must tolerate being called from a single goroutine per run. A nil Collector
+// in engine.Options disables tracing with zero allocation and zero behaviour
+// change.
+type Collector interface {
+	Event(Event)
+}
+
+// Recorder is the simplest Collector: it appends every event to Events in
+// arrival order. The zero value is ready to use.
+type Recorder struct {
+	Events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Event implements Collector.
+func (r *Recorder) Event(e Event) { r.Events = append(r.Events, e) }
+
+// Reset discards the recorded events, keeping the backing array.
+func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
+// multi fans events out to several collectors.
+type multi []Collector
+
+func (m multi) Event(e Event) {
+	for _, c := range m {
+		c.Event(e)
+	}
+}
+
+// Multi combines collectors into one; nil entries are dropped. It returns nil
+// when none remain, so Multi(nil, nil) still means "tracing disabled".
+func Multi(cs ...Collector) Collector {
+	var out multi
+	for _, c := range cs {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

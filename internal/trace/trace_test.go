@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	for k := KindStepBegin; k <= KindRebalance; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind: got %q", Kind(200).String())
+	}
+}
+
+func TestRecorderAndMulti(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	c := Multi(nil, a, nil, b)
+	if c == nil {
+		t.Fatal("Multi dropped live collectors")
+	}
+	e := Event{Kind: KindStepBegin, Step: 3, Machine: -1, Label: "sync", Frontier: 17}
+	c.Event(e)
+	if len(a.Events) != 1 || len(b.Events) != 1 || a.Events[0] != e {
+		t.Fatalf("fan-out failed: a=%v b=%v", a.Events, b.Events)
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil (tracing disabled)")
+	}
+	if Multi(a) != Collector(a) {
+		t.Error("Multi of one collector should return it unwrapped")
+	}
+	a.Reset()
+	if len(a.Events) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+// syntheticRun is a two-machine stream: two sync steps (machine 1 straggles),
+// one stall, a checkpoint, a crash with recovery, and one async round.
+func syntheticRun() []Event {
+	return []Event{
+		{Kind: KindStepBegin, Step: 0, Machine: -1, Label: "sync", Frontier: 100},
+		{Kind: KindMachineStep, Step: 0, Machine: 0, Label: "sync", Seconds: 1.0, GatherSeconds: 0.6, ApplySeconds: 0.2, BookSeconds: 0.1, CommSeconds: 0.3, Gathers: 50, Applies: 10},
+		{Kind: KindMachineStep, Step: 0, Machine: 1, Label: "sync", Seconds: 2.0, GatherSeconds: 1.4, ApplySeconds: 0.3, BookSeconds: 0.2, CommSeconds: 0.5, Gathers: 90, Applies: 12},
+		{Kind: KindStepEnd, Step: 0, Machine: -1, Label: "sync", Seconds: 2.0},
+		{Kind: KindCheckpoint, Step: 1, Machine: -1, Seconds: 0.25, Bytes: 4096},
+		{Kind: KindStall, Step: 0, Machine: -1, Label: "checkpoint", Seconds: 0.25},
+		{Kind: KindStepBegin, Step: 1, Machine: -1, Label: "sync", Frontier: 40},
+		{Kind: KindMachineStep, Step: 1, Machine: 0, Label: "sync", Seconds: 0.5, Gathers: 20, Applies: 5},
+		{Kind: KindMachineStep, Step: 1, Machine: 1, Label: "sync", Seconds: 1.5, Gathers: 60, Applies: 9},
+		{Kind: KindStepEnd, Step: 1, Machine: -1, Label: "sync", Seconds: 1.5},
+		{Kind: KindCrash, Step: 1, Machine: 1},
+		{Kind: KindRecovery, Step: 1, Machine: 1, Label: "checkpoint", Resume: 1, Seconds: 0.75, Moved: 120},
+		{Kind: KindStall, Step: 1, Machine: -1, Label: "recover", Seconds: 0.75},
+		{Kind: KindStepBegin, Step: 0, Machine: -1, Label: "async", Frontier: 100},
+		{Kind: KindMachineStep, Step: 0, Machine: 0, Label: "async", Seconds: 0.4},
+		{Kind: KindStepEnd, Step: 0, Machine: -1, Label: "async"},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(syntheticRun())
+	if s.SyncSteps != 2 || s.AsyncRounds != 1 {
+		t.Fatalf("got %d sync steps, %d async rounds; want 2, 1", s.SyncSteps, s.AsyncRounds)
+	}
+	if got, want := s.BarrierSeconds, 3.5; got != want {
+		t.Errorf("barrier seconds %v, want %v", got, want)
+	}
+	// Makespan: barriers (2.0 + 1.5) + stalls (0.25 + 0.75) + folded async 0.4.
+	if got, want := s.MakespanSeconds, 4.9; !approx(got, want) {
+		t.Errorf("makespan %v, want %v", got, want)
+	}
+	if s.Checkpoints != 1 || s.CheckpointBytes != 4096 || s.Crashes != 1 || s.Recoveries != 1 {
+		t.Errorf("fault counts wrong: %+v", s)
+	}
+	if len(s.Machines) != 2 {
+		t.Fatalf("got %d machines, want 2", len(s.Machines))
+	}
+	m0, m1 := s.Machines[0], s.Machines[1]
+	if !approx(m0.BusySeconds, 1.9) || !approx(m1.BusySeconds, 3.5) {
+		t.Errorf("busy: m0=%v m1=%v", m0.BusySeconds, m1.BusySeconds)
+	}
+	if m0.StragglerSteps != 0 || m1.StragglerSteps != 2 {
+		t.Errorf("straggler steps: m0=%d m1=%d, want 0 and 2", m0.StragglerSteps, m1.StragglerSteps)
+	}
+	// Machine 0 waited 1.0s at step 0's barrier and 1.0s at step 1's.
+	if !approx(m0.IdleSeconds, 2.0) || !approx(m1.IdleSeconds, 0) {
+		t.Errorf("idle: m0=%v m1=%v", m0.IdleSeconds, m1.IdleSeconds)
+	}
+	// Step 0: 2.0/1.5; step 1: 1.5/1.0. Mean of the two ratios.
+	if want := (2.0/1.5 + 1.5/1.0) / 2; !approx(s.Imbalance, want) {
+		t.Errorf("imbalance %v, want %v", s.Imbalance, want)
+	}
+	if s.StallSeconds["checkpoint"] != 0.25 || s.StallSeconds["recover"] != 0.75 {
+		t.Errorf("stall seconds: %v", s.StallSeconds)
+	}
+
+	report := s.String()
+	for _, want := range []string{"2 sync steps", "1 async rounds", "machine", "straggler", "1 checkpoints"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.SyncSteps != 0 || s.MakespanSeconds != 0 || len(s.Machines) != 0 {
+		t.Errorf("empty stream should summarize to zero: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary should still render")
+	}
+}
+
+func approx(got, want float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -19,6 +19,7 @@ import (
 	"proxygraph/internal/graph"
 	"proxygraph/internal/partition"
 	"proxygraph/internal/rng"
+	"proxygraph/internal/trace"
 )
 
 // Job is one unit of work: run an application over a graph.
@@ -89,6 +90,10 @@ type Session struct {
 	Cluster *cluster.Cluster
 	// Partitioner is the ingress algorithm (default Hybrid).
 	Partitioner partition.Partitioner
+	// Trace, when non-nil, receives structured execution events from every
+	// job that supports the full-options entry point. Jobs without one (the
+	// async Coloring, Triangle Count) run untraced with identical results.
+	Trace trace.Collector
 }
 
 // Run executes the jobs. For the proxy profiler, the one-time profiling cost
@@ -132,7 +137,7 @@ func (s *Session) Run(jobs []Job, est core.Estimator) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := job.App.Run(pl, s.Cluster)
+		res, err := s.runJob(job.App, pl)
 		if err != nil {
 			return nil, err
 		}
@@ -142,6 +147,17 @@ func (s *Session) Run(jobs []Job, est core.Estimator) (*Report, error) {
 		rep.TotalEnergyJoules += res.EnergyJoules
 	}
 	return rep, nil
+}
+
+// runJob executes one job, routing through the OptsRunner path when the
+// session carries an event collector.
+func (s *Session) runJob(app apps.App, pl *engine.Placement) (*engine.Result, error) {
+	if s.Trace != nil {
+		if fr, ok := app.(apps.OptsRunner); ok {
+			return fr.RunOpts(pl, s.Cluster, engine.Options{Trace: s.Trace})
+		}
+	}
+	return app.Run(pl, s.Cluster)
 }
 
 // profilingCost charges the proxy profiling flow: each machine group's

@@ -6,6 +6,7 @@ import (
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/core"
 	"proxygraph/internal/partition"
+	"proxygraph/internal/trace"
 )
 
 func caseTwo(t *testing.T) *cluster.Cluster {
@@ -139,5 +140,43 @@ func TestCrossoverSemantics(t *testing.T) {
 	never := &Report{CumulativeSeconds: []float64{9, 10, 11}}
 	if got := Crossover(never, b); got != 0 {
 		t.Errorf("crossover = %d, want 0", got)
+	}
+}
+
+func TestSessionTraceIdenticalResults(t *testing.T) {
+	cl := caseTwo(t)
+	jobs, err := RandomJobs(4, 512, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := &Session{Cluster: cl}
+	plainRep, err := plain.Run(jobs, core.NewThreadCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	traced := &Session{Cluster: cl, Trace: rec}
+	tracedRep, err := traced.Run(jobs, core.NewThreadCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attaching a collector must not perturb the accounting of any job.
+	for i := range jobs {
+		if plainRep.JobSeconds[i] != tracedRep.JobSeconds[i] {
+			t.Fatalf("job %d: traced %.9f != plain %.9f", i, tracedRep.JobSeconds[i], plainRep.JobSeconds[i])
+		}
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("session with a collector recorded no events")
+	}
+	// Every traced job contributes at least its superstep begins.
+	begins := 0
+	for _, e := range rec.Events {
+		if e.Kind == trace.KindStepBegin {
+			begins++
+		}
+	}
+	if begins == 0 {
+		t.Fatal("no superstep events across the session")
 	}
 }
