@@ -1,6 +1,6 @@
 # Developer entry points. The repo needs only the Go toolchain.
 
-.PHONY: build test check bench fuzz-smoke golden-update
+.PHONY: build test check bench bench-ingress fuzz-smoke golden-update
 
 build:
 	go build ./...
@@ -9,13 +9,16 @@ test:
 	go test ./...
 
 # check is the pre-merge gate: static analysis, the race detector over the
-# packages that run goroutines (the destination-sharded engine, including its
+# packages that run goroutines (the destination-sharded engine, the parallel
+# ingress scans, the single-flight placement cache, including the
 # fault-recovery paths exercised by the chaos suite) or are otherwise
-# concurrency-sensitive (the metrics registry), and a short fuzz pass over
-# every decoder/encoder boundary.
+# concurrency-sensitive (the metrics registry), the ingress differential test
+# pinning the parallel partitioners to their sequential specs, and a short
+# fuzz pass over every decoder/encoder boundary.
 check:
 	go vet ./...
-	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace
+	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace ./internal/workload
+	go test -run 'TestIngressDifferential|TestCompileBlocksParallelMatchesSequential' ./internal/partition ./internal/engine
 	$(MAKE) fuzz-smoke
 
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the seed
@@ -36,3 +39,8 @@ golden-update:
 # tracked in BENCH_ENGINE.json.
 bench:
 	go test -run '^$$' -bench 'BenchmarkEngineGather' -benchmem ./internal/engine
+
+# bench-ingress runs the partitioner ingress micro-benchmarks (sequential
+# reference vs the sharded picker pipeline) tracked in BENCH_INGRESS.json.
+bench-ingress:
+	go test -run '^$$' -bench 'BenchmarkIngress' -benchmem ./internal/partition

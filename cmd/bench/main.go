@@ -19,6 +19,7 @@ import (
 
 	"proxygraph/internal/exp"
 	"proxygraph/internal/metrics"
+	"proxygraph/internal/partition"
 	"proxygraph/internal/report"
 	"proxygraph/internal/trace"
 )
@@ -68,6 +69,7 @@ func experiments() []experiment {
 		{"ingress", "loading/finalization makespans", one((*exp.Lab).IngressStudy)},
 		{"dynamic", "Mizan-style dynamic balancing vs static CCR ingress", one((*exp.Lab).DynamicStudy)},
 		{"amortization", "one-time profiling cost vs session gains", one((*exp.Lab).AmortizationStudy)},
+		{"session", "placement cache vs rebuilt ingress, charged sessions", one((*exp.Lab).SessionThroughputStudy)},
 		{"recovery", "checkpoint interval vs crash-recovery cost", one((*exp.Lab).RecoveryStudy)},
 		{"freqsweep", "CCR vs little-machine frequency", one((*exp.Lab).FrequencySweep)},
 		{"abl-hybrid", "hybrid threshold sweep", one((*exp.Lab).AblationHybridThreshold)},
@@ -89,8 +91,11 @@ func main() {
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of every traced engine run here")
 		metricsOut = flag.String("metrics-out", "", "write Prometheus text-format metrics aggregated over the session here")
+
+		ingressShards = flag.Int("ingress-shards", 0, "worker count for parallel ingress scans (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	partition.ParallelShards = *ingressShards
 
 	exps := experiments()
 	if *list {

@@ -51,8 +51,11 @@ func main() {
 		netFaults  = flag.Int("netfaults", 0, "scheduled network degradation windows")
 		checkpoint = flag.Int("checkpoint", 0, "checkpoint every N supersteps (0 disables)")
 		recovery   = flag.String("recovery", "checkpoint", "crash recovery policy: checkpoint, restart")
+
+		ingressShards = flag.Int("ingress-shards", 0, "worker count for parallel ingress scans (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	partition.ParallelShards = *ingressShards
 
 	app, err := apps.ByName(*appName)
 	if err != nil {

@@ -53,6 +53,16 @@ func MeasureSpeeds(machines []cluster.Machine, applications []apps.App, profiler
 				if err != nil {
 					return nil, fmt.Errorf("advisor: profiling %s on %s: %w", app.Name(), m.Name, err)
 				}
+				// A zero (or negative/non-finite) makespan would send the log
+				// term to ±Inf/NaN and poison the geometric mean — every speed
+				// built from it, and every Recommend ranking downstream, would
+				// be garbage. Instant proxy runs can legitimately happen with a
+				// degenerate proxy graph or a stubbed application, so fail
+				// loudly instead of propagating the poison.
+				if res.SimSeconds <= 0 || math.IsInf(res.SimSeconds, 0) || math.IsNaN(res.SimSeconds) {
+					return nil, fmt.Errorf("advisor: profiling %s on %s returned non-positive makespan %v; cannot fold into geometric mean",
+						app.Name(), m.Name, res.SimSeconds)
+				}
 				logSum += math.Log(1 / res.SimSeconds)
 				runs++
 			}

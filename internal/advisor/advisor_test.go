@@ -1,12 +1,14 @@
 package advisor
 
 import (
+	"math"
 	"strings"
 	"testing"
 
 	"proxygraph/internal/apps"
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/core"
+	"proxygraph/internal/engine"
 )
 
 func toyCatalog() []cluster.Machine {
@@ -147,5 +149,32 @@ func TestEndToEndRecommendation(t *testing.T) {
 	}
 	if len(top) == 0 || top[0].Speed != best.Speed {
 		t.Error("ranking inconsistent with best")
+	}
+}
+
+// zeroTimeApp reports a zero makespan from every run — the shape a stubbed or
+// degenerate application produces. Folding it into the geometric mean would
+// yield +Inf speeds; MeasureSpeeds must refuse instead.
+type zeroTimeApp struct{}
+
+func (zeroTimeApp) Name() string { return "zero-stub" }
+func (zeroTimeApp) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	return &engine.Result{SimSeconds: 0}, nil
+}
+
+func TestMeasureSpeedsRejectsZeroMakespan(t *testing.T) {
+	pp, err := core.NewProxyProfiler(1024, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ := cluster.ByName("c4.xlarge")
+	speeds, err := MeasureSpeeds([]cluster.Machine{small}, []apps.App{zeroTimeApp{}}, pp)
+	if err == nil {
+		t.Fatalf("zero-makespan profiling run must error, got speeds %v", speeds)
+	}
+	for _, s := range speeds {
+		if math.IsInf(s, 0) || math.IsNaN(s) {
+			t.Fatalf("non-finite speed leaked out alongside the error: %v", speeds)
+		}
 	}
 }

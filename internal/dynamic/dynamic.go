@@ -81,7 +81,12 @@ func (m *Migrator) Decide(step int, times []float64, pl *engine.Placement) ([]in
 
 	owner := make([]int32, len(pl.EdgeOwner))
 	copy(owner, pl.EdgeOwner)
-	src := rng.New(m.Seed + uint64(step))
+	// Derive the per-step stream by hashing, not adding: Seed+step makes
+	// migrator seeds s and s+1 replay each other's streams one step apart
+	// (step k of seed s+1 == step k+1 of seed s), so "independent" replicas
+	// pick correlated edge samples. Hash2 keys each (seed, step) pair into an
+	// unrelated SplitMix64 stream.
+	src := rng.New(rng.Hash2(m.Seed, uint64(step)))
 	moved := int64(0)
 	// Sample without replacement by walking a random starting offset with a
 	// coprime stride, deterministic and allocation-free.

@@ -232,3 +232,52 @@ func TestConnectedComponentsRebalanced(t *testing.T) {
 		t.Error("rebalancing changed the component count")
 	}
 }
+
+// TestDecideSeedsDecorrelated is the regression test for the per-step RNG
+// derivation: with the old Seed+step arithmetic, step k of a migrator seeded
+// s+1 replayed step k+1 of a migrator seeded s, so adjacent-seed replicas
+// sampled correlated edge sets. The hashed derivation must break that
+// relationship while staying deterministic per (seed, step).
+func TestDecideSeedsDecorrelated(t *testing.T) {
+	g := testGraph(t, 8, 2000, 24000)
+	times := []float64{4, 1}
+
+	moved := func(seed uint64, step int) map[int32]bool {
+		pl := uniformPlacement(t, g, 2)
+		m := NewMigrator(seed)
+		owner, _, ok := m.Decide(step, times, pl)
+		if !ok {
+			t.Fatalf("seed %d step %d: migration did not fire", seed, step)
+		}
+		set := map[int32]bool{}
+		for i, o := range owner {
+			if o != pl.EdgeOwner[i] {
+				set[int32(i)] = true
+			}
+		}
+		return set
+	}
+	overlap := func(a, b map[int32]bool) float64 {
+		n := 0
+		for i := range a {
+			if b[i] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(a))
+	}
+
+	// Determinism: same (seed, step) moves the same edges.
+	if got := overlap(moved(5, 0), moved(5, 0)); got != 1 {
+		t.Fatalf("same seed and step overlap %.3f, want 1", got)
+	}
+	// The old bug: seed s at step k+1 == seed s+1 at step k (full overlap).
+	// Hashed streams must make these (and adjacent steps of one seed) nearly
+	// disjoint — with ~50%% of edges moved, random sets overlap ~50%%.
+	if got := overlap(moved(5, 1), moved(6, 0)); got > 0.9 {
+		t.Errorf("adjacent seeds replay each other's steps: overlap %.3f", got)
+	}
+	if got := overlap(moved(5, 0), moved(5, 1)); got > 0.9 {
+		t.Errorf("consecutive steps of one seed coincide: overlap %.3f", got)
+	}
+}

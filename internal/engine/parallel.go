@@ -12,10 +12,12 @@ import (
 	"proxygraph/internal/trace"
 )
 
-// ParallelShards overrides RunSyncParallel's worker count when positive; zero
-// (the default) means one worker per available CPU. Worker count never affects
-// results or accounting, only host-side execution speed, so tests set it to
-// exercise multi-shard execution regardless of GOMAXPROCS.
+// ParallelShards overrides the engine's worker counts when positive — the
+// destination-sharded sweeps of RunSyncParallel and the per-machine gather
+// block compile inside NewPlacement; zero (the default) means one worker per
+// available CPU. Worker count never affects results or accounting, only
+// host-side execution speed, so tests set it to exercise multi-shard
+// execution regardless of GOMAXPROCS.
 var ParallelShards int
 
 // span is a half-open range of group indices into one machine's byDst block.

@@ -14,7 +14,9 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"proxygraph/internal/graph"
 	"proxygraph/internal/rng"
@@ -71,39 +73,97 @@ type machineBlocks struct {
 	remote []bool
 }
 
-// compileBlocks expands machine p's local edges into gather records for the
-// given direction and groups them. For GatherIn each edge (u,v) yields one
-// record v←u; for GatherBoth it yields v←u then u←v, matching the reference
-// engine's per-edge gather order so stable grouping preserves per-destination
+// blockCompiler carries one worker's reusable compile workspace: the |V|
+// counting-sort scratch and the record staging slices, allocated once per
+// worker instead of once per machine.
+type blockCompiler struct {
+	pl                                 *Placement
+	scratch                            []int32
+	dstKeys, srcKeys, dstVals, srcVals []graph.VertexID
+}
+
+// compile expands machine p's local edges into gather records for the given
+// direction and groups them. For GatherIn each edge (u,v) yields one record
+// v←u; for GatherBoth it yields v←u then u←v, matching the reference engine's
+// per-edge gather order so stable grouping preserves per-destination
 // accumulation order exactly.
-func (pl *Placement) compileBlocks(both bool) []machineBlocks {
-	scratch := make([]int32, pl.G.NumVertices)
-	blocks := make([]machineBlocks, pl.M)
-	var dstKeys, srcKeys, dstVals, srcVals []graph.VertexID
-	for p := range blocks {
-		dstKeys, dstVals = dstKeys[:0], dstVals[:0]
-		srcKeys, srcVals = srcKeys[:0], srcVals[:0]
-		for _, ei := range pl.LocalEdges[p] {
-			e := pl.G.Edges[ei]
-			dstKeys = append(dstKeys, e.Dst)
-			dstVals = append(dstVals, e.Src)
-			srcKeys = append(srcKeys, e.Src)
-			srcVals = append(srcVals, e.Dst)
-			if both {
-				dstKeys = append(dstKeys, e.Src)
-				dstVals = append(dstVals, e.Dst)
-				srcKeys = append(srcKeys, e.Dst)
-				srcVals = append(srcVals, e.Src)
-			}
-		}
-		b := &blocks[p]
-		b.byDst = graph.GroupPairs(dstKeys, dstVals, scratch)
-		b.bySrc = graph.GroupPairs(srcKeys, srcVals, scratch)
-		b.remote = make([]bool, len(b.byDst.Keys))
-		for i, d := range b.byDst.Keys {
-			b.remote[i] = pl.Master[d] != int32(p)
+func (c *blockCompiler) compile(p int, both bool) machineBlocks {
+	pl := c.pl
+	dstKeys, dstVals := c.dstKeys[:0], c.dstVals[:0]
+	srcKeys, srcVals := c.srcKeys[:0], c.srcVals[:0]
+	for _, ei := range pl.LocalEdges[p] {
+		e := pl.G.Edges[ei]
+		dstKeys = append(dstKeys, e.Dst)
+		dstVals = append(dstVals, e.Src)
+		srcKeys = append(srcKeys, e.Src)
+		srcVals = append(srcVals, e.Dst)
+		if both {
+			dstKeys = append(dstKeys, e.Src)
+			dstVals = append(dstVals, e.Dst)
+			srcKeys = append(srcKeys, e.Dst)
+			srcVals = append(srcVals, e.Src)
 		}
 	}
+	c.dstKeys, c.dstVals = dstKeys, dstVals
+	c.srcKeys, c.srcVals = srcKeys, srcVals
+	var b machineBlocks
+	b.byDst = graph.GroupPairs(dstKeys, dstVals, c.scratch)
+	b.bySrc = graph.GroupPairs(srcKeys, srcVals, c.scratch)
+	b.remote = make([]bool, len(b.byDst.Keys))
+	for i, d := range b.byDst.Keys {
+		b.remote[i] = pl.Master[d] != int32(p)
+	}
+	return b
+}
+
+// compileWorkers resolves the worker count for compiling m machine blocks:
+// one worker per block, bounded by the host parallelism knob. Each worker
+// allocates a |V| scratch, so the bound also caps compile memory.
+func compileWorkers(m int) int {
+	w := ParallelShards
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > m {
+		w = m
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// compileBlocks builds every machine's gather layout. Blocks are mutually
+// independent — each reads only LocalEdges[p], the shared graph and the
+// master table — so they compile on up to compileWorkers goroutines, one
+// machine block per task, with bit-identical output at any worker count.
+func (pl *Placement) compileBlocks(both bool) []machineBlocks {
+	blocks := make([]machineBlocks, pl.M)
+	workers := compileWorkers(pl.M)
+	if workers == 1 {
+		c := &blockCompiler{pl: pl, scratch: make([]int32, pl.G.NumVertices)}
+		for p := range blocks {
+			blocks[p] = c.compile(p, both)
+		}
+		return blocks
+	}
+	var next int32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			c := &blockCompiler{pl: pl, scratch: make([]int32, pl.G.NumVertices)}
+			for {
+				p := int(atomic.AddInt32(&next, 1)) - 1
+				if p >= pl.M {
+					return
+				}
+				blocks[p] = c.compile(p, both)
+			}
+		}()
+	}
+	wg.Wait()
 	return blocks
 }
 

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"testing"
+
+	"proxygraph/internal/graph"
+	"proxygraph/internal/rng"
+)
+
+// TestCompileBlocksParallelMatchesSequential pins the parallel machine-block
+// compiler to its sequential path: every field of every machine's layout must
+// be identical at any worker count, for both gather directions.
+func TestCompileBlocksParallelMatchesSequential(t *testing.T) {
+	const n, m, machines = 400, 3200, 7
+	g := &graph.Graph{NumVertices: n}
+	owner := make([]int32, 0, m)
+	for i := 0; i < m; i++ {
+		u := graph.VertexID(rng.Hash2(91, uint64(i)) % n)
+		v := graph.VertexID(rng.Hash2(93, uint64(i)) % n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		g.Edges = append(g.Edges, graph.Edge{Src: u, Dst: v})
+		owner = append(owner, int32(rng.Hash2(97, uint64(i))%machines))
+	}
+
+	prev := ParallelShards
+	t.Cleanup(func() { ParallelShards = prev })
+
+	ParallelShards = 1
+	seq, err := NewPlacement(g, owner, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 8} {
+		ParallelShards = shards
+		par, err := NewPlacement(g, owner, machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, both := range []bool{false, true} {
+			a, b := seq.blocks(both), par.blocks(both)
+			for p := 0; p < machines; p++ {
+				if !groupedEqual(a[p].byDst, b[p].byDst) || !groupedEqual(a[p].bySrc, b[p].bySrc) {
+					t.Fatalf("shards=%d both=%v: machine %d blocks differ", shards, both, p)
+				}
+				if len(a[p].remote) != len(b[p].remote) {
+					t.Fatalf("shards=%d both=%v: machine %d remote length differs", shards, both, p)
+				}
+				for i := range a[p].remote {
+					if a[p].remote[i] != b[p].remote[i] {
+						t.Fatalf("shards=%d both=%v: machine %d remote[%d] differs", shards, both, p, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func groupedEqual(a, b graph.Grouped) bool {
+	if len(a.Keys) != len(b.Keys) || len(a.Offs) != len(b.Offs) || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	for i := range a.Offs {
+		if a.Offs[i] != b.Offs[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -34,6 +34,7 @@ func TestEveryExperimentProducesWellFormedTables(t *testing.T) {
 		{"ingress", wrap(lab.IngressStudy)},
 		{"dynamic", wrap(lab.DynamicStudy)},
 		{"amortization", wrap(lab.AmortizationStudy)},
+		{"session", wrap(lab.SessionThroughputStudy)},
 		{"recovery", wrap(lab.RecoveryStudy)},
 		{"freqsweep", wrap(lab.FrequencySweep)},
 		{"abl-hybrid", wrap(lab.AblationHybridThreshold)},

@@ -1,0 +1,48 @@
+package graph
+
+import "sync"
+
+// InDegreesParallel computes InDegrees with up to workers goroutines: each
+// worker counts a contiguous edge range into a private array, then the
+// per-vertex sums are merged in worker order (also sharded, by vertex range).
+// Integer addition is exact and commutative, so the result is bit-identical
+// to InDegrees at every worker count — the property the ingress differential
+// test relies on. Memory is O(workers · |V|), so callers should size workers
+// to real parallelism, not to the edge count.
+func (g *Graph) InDegreesParallel(workers int) []int32 {
+	if workers > len(g.Edges) {
+		workers = len(g.Edges)
+	}
+	if workers <= 1 {
+		return g.InDegrees()
+	}
+	parts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			deg := make([]int32, g.NumVertices)
+			for _, e := range g.Edges[len(g.Edges)*w/workers : len(g.Edges)*(w+1)/workers] {
+				deg[e.Dst]++
+			}
+			parts[w] = deg
+		}(w)
+	}
+	wg.Wait()
+
+	out := parts[0]
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, part := range parts[1:] {
+				for v := lo; v < hi; v++ {
+					out[v] += part[v]
+				}
+			}
+		}(g.NumVertices*w/workers, g.NumVertices*(w+1)/workers)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,27 @@
+package graph
+
+import "testing"
+
+func TestInDegreesParallelMatchesSequential(t *testing.T) {
+	graphs := []*Graph{
+		diamond(),
+		randomGraph(t, 83, 500, 4000),
+		{NumVertices: 7}, // empty edge list
+		{NumVertices: 3, Edges: []Edge{{0, 1}, {2, 1}}}, // fewer edges than workers
+	}
+	for gi, g := range graphs {
+		want := g.InDegrees()
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			got := g.InDegreesParallel(workers)
+			if len(got) != len(want) {
+				t.Fatalf("graph %d workers %d: length %d, want %d", gi, workers, len(got), len(want))
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("graph %d workers %d: vertex %d degree %d, want %d",
+						gi, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}

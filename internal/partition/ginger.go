@@ -29,26 +29,51 @@ func NewGinger() *Ginger { return &Ginger{Threshold: 100, Gamma: 1} }
 // Name implements Partitioner.
 func (*Ginger) Name() string { return "ginger" }
 
-// Partition implements Partitioner.
+// Partition implements Partitioner. Phase 1 (the per-vertex seed hash) and
+// the final edge scan are pure per-element functions and shard across
+// ParallelShards workers; the greedy refinement between them visits vertices
+// in ID order against evolving loads and stays sequential. The owner vector
+// is bit-identical to referenceGinger at any shard count.
 func (gp *Ginger) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
 	if err := checkShares(shares, 1); err != nil {
 		return nil, err
 	}
-	m := len(shares)
-	cum := cumulative(shares)
-	inDeg := g.InDegrees()
+	pk := newPicker(shares)
+	inDeg := g.InDegreesParallel(resolveShards(len(g.Edges)))
 	owner := make([]int32, len(g.Edges))
 
 	// Phase 1 (as Hybrid): low-degree in-edges group with the target,
 	// high-degree in-edges scatter by source hash.
 	assign := make([]int32, g.NumVertices) // low-degree vertex -> machine
-	for v := range assign {
-		assign[v] = pick(cum, vertexHash(seed, graph.VertexID(v)))
-	}
+	parallelRanges(len(assign), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			assign[v] = pk.pick(vertexHash(seed, graph.VertexID(v)))
+		}
+	})
 
-	// Phase 2: greedily re-place each low-degree vertex by the Fennel-style
-	// score over its in-neighborhood. Vertices are visited in ID order;
-	// vCount/eCount track the evolving per-machine loads.
+	gp.refine(g, shares, inDeg, assign)
+
+	parallelRanges(len(g.Edges), func(lo, hi int) {
+		edges := g.Edges[lo:hi]
+		for i := range edges {
+			e := edges[i]
+			if inDeg[e.Dst] > gp.Threshold {
+				owner[lo+i] = pk.pick(vertexHash(seed+1, e.Src))
+			} else {
+				owner[lo+i] = assign[e.Dst]
+			}
+		}
+	})
+	return owner, nil
+}
+
+// refine is phase 2, shared verbatim between the production path and
+// referenceGinger: greedily re-place each low-degree vertex by the
+// Fennel-style score over its in-neighborhood. Vertices are visited in ID
+// order; vCount/eCount track the evolving per-machine loads, which makes the
+// sweep order-dependent and therefore sequential.
+func (gp *Ginger) refine(g *graph.Graph, shares []float64, inDeg []int32, assign []int32) {
+	m := len(shares)
 	inCSR := g.BuildInCSR()
 	vCount := make([]float64, m)
 	eCount := make([]float64, m)
@@ -97,13 +122,4 @@ func (gp *Ginger) Partition(g *graph.Graph, shares []float64, seed uint64) ([]in
 		vCount[best]++
 		eCount[best] += float64(inDeg[v])
 	}
-
-	for i, e := range g.Edges {
-		if inDeg[e.Dst] > gp.Threshold {
-			owner[i] = pick(cum, vertexHash(seed+1, e.Src))
-		} else {
-			owner[i] = assign[e.Dst]
-		}
-	}
-	return owner, nil
 }

@@ -35,6 +35,30 @@ func gridShape(m int) (rows, cols int) {
 	return rows, m / rows
 }
 
+// unionBest returns the best-scoring machine of su ∪ sv, where inSet marks
+// exactly su's members. The union is walked without materializing it —
+// appending sv onto su (the previous implementation) would alias the caller's
+// cached constraint slice whenever len(su) < cap(su), and would score
+// machines present in both sets twice.
+func unionBest(su, sv []int32, inSet []bool, score func(int32) float64) int32 {
+	best := int32(-1)
+	bestScore := 0.0
+	for _, p := range su {
+		if s := score(p); best == -1 || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	for _, p := range sv {
+		if inSet[p] {
+			continue // already scored as a member of su
+		}
+		if s := score(p); best == -1 || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
 // Partition implements Partitioner.
 func (*Grid) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
 	if err := checkShares(shares, 1); err != nil {
@@ -97,11 +121,7 @@ func (*Grid) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, 
 		if best == -1 {
 			// Constraint sets always intersect (shared row machine), but be
 			// safe: fall back to the emptiest machine of the union.
-			for _, p := range append(su, sv...) {
-				if s := score(p); best == -1 || s > bestScore {
-					best, bestScore = p, s
-				}
-			}
+			best = unionBest(su, sv, inSet, score)
 		}
 		for _, p := range su {
 			inSet[p] = false

@@ -2,7 +2,13 @@ package partition
 
 import (
 	"proxygraph/internal/graph"
+	"proxygraph/internal/rng"
 )
+
+// hdrfTie ranks machine p for seed-deterministic tie-breaking on edge i.
+func hdrfTie(seed uint64, i, p int) uint64 {
+	return rng.Hash3(seed, uint64(i), uint64(p))
+}
 
 // HDRF is the High-Degree (are) Replicated First streaming vertex-cut of
 // Petroni et al. (CIKM 2015) — an extension beyond the paper's five
@@ -19,6 +25,13 @@ import (
 // The heterogeneity-aware extension applies the same trick as the paper's
 // Section II: loads are normalized by the machines' CCR shares, so "least
 // loaded" means furthest below the CCR target.
+//
+// Score ties are broken by a seed-keyed hash of (edge index, machine), not
+// by machine order: on the very first edges every machine scores identically
+// (no replicas anywhere, all loads zero), so an index-order tie-break would
+// bias early placement toward machine 0 regardless of seed. The seed
+// parameter affects placement only through this tie-breaking — the scores
+// themselves are fully determined by the stream.
 type HDRF struct {
 	// Lambda weights the balance term (Petroni et al. default 1).
 	Lambda float64
@@ -70,8 +83,11 @@ func (h *HDRF) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32
 				rep += 1 + (1 - thetaV)
 			}
 			bal := (maxLoad - load[p]) / (1 + maxLoad - minLoad)
-			if score := rep + h.Lambda*bal; score > bestScore {
+			score := rep + h.Lambda*bal
+			if score > bestScore {
 				bestScore, best = score, int32(p)
+			} else if score == bestScore && hdrfTie(seed, i, p) > hdrfTie(seed, i, int(best)) {
+				best = int32(p)
 			}
 		}
 		owner[i] = best

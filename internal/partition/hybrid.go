@@ -25,23 +25,30 @@ func NewHybrid() *Hybrid { return &Hybrid{Threshold: 100} }
 // Name implements Partitioner.
 func (*Hybrid) Name() string { return "hybrid" }
 
-// Partition implements Partitioner.
+// Partition implements Partitioner. Given exact in-degrees, every edge's
+// owner is a pure function of its endpoints and the seed, so both the
+// in-degree count and the assignment scan shard across ParallelShards
+// workers; the result is bit-identical to referenceHybrid at any shard count.
 func (h *Hybrid) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
 	if err := checkShares(shares, 1); err != nil {
 		return nil, err
 	}
-	cum := cumulative(shares)
+	pk := newPicker(shares)
 	owner := make([]int32, len(g.Edges))
-	inDeg := g.InDegrees()
+	inDeg := g.InDegreesParallel(resolveShards(len(g.Edges)))
 
-	for i, e := range g.Edges {
-		if inDeg[e.Dst] > h.Threshold {
-			// Second pass, folded in: the full scan already gave us exact
-			// in-degrees, so high-degree targets reassign by source hash.
-			owner[i] = pick(cum, vertexHash(seed+1, e.Src))
-		} else {
-			owner[i] = pick(cum, vertexHash(seed, e.Dst))
+	parallelRanges(len(g.Edges), func(lo, hi int) {
+		edges := g.Edges[lo:hi]
+		for i := range edges {
+			e := edges[i]
+			if inDeg[e.Dst] > h.Threshold {
+				// Second pass, folded in: the full scan already gave us exact
+				// in-degrees, so high-degree targets reassign by source hash.
+				owner[lo+i] = pk.pick(vertexHash(seed+1, e.Src))
+			} else {
+				owner[lo+i] = pk.pick(vertexHash(seed, e.Dst))
+			}
 		}
-	}
+	})
 	return owner, nil
 }

@@ -1,0 +1,91 @@
+package partition
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// ParallelShards overrides the ingress pipeline's worker count when positive;
+// zero (the default) means one worker per available CPU. Like
+// engine.ParallelShards, the shard count never affects results: the
+// order-independent partitioners (random, hybrid, ginger's hash phases)
+// produce bit-identical owner vectors at every shard count, pinned against
+// the sequential specs in reference.go by the ingress differential test.
+// The streaming partitioners (oblivious, grid, hdrf) and ginger's greedy
+// refinement are inherently order-dependent and always run sequentially.
+var ParallelShards int
+
+// resolveShards returns the worker count for n independent items.
+func resolveShards(n int) int {
+	s := ParallelShards
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// parallelRanges splits [0, n) into contiguous per-shard ranges and runs fn
+// on every range, concurrently when more than one shard resolves. fn must
+// write only to slots it owns by index; because every slot's value is a pure
+// function of its index, shard boundaries cannot affect the output.
+func parallelRanges(n int, fn func(lo, hi int)) {
+	shards := resolveShards(n)
+	if shards == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(n*s/shards, n*(s+1)/shards)
+	}
+	wg.Wait()
+}
+
+// pickerBuckets sizes the quantized start-index table of picker. 512 buckets
+// keep the forward scan near zero steps even for 64 machines with skewed
+// shares, at 2KB per partition call.
+const pickerBuckets = 512
+
+// picker resolves weighted machine picks with exactly the semantics of pick
+// (binary search over the cumulative shares) but in O(1) expected time: a
+// start-index table quantizes [0,1) into buckets, each holding the first
+// machine whose cumulative share reaches the bucket's lower bound, so a pick
+// is one table lookup plus a short forward scan. Both the table and the scan
+// reproduce sort.SearchFloat64s' "first index with cum[i] >= u" contract, so
+// picker.pick(h) == pick(cum, h) for every hash — the property the ingress
+// differential test pins.
+type picker struct {
+	cum   []float64
+	table []int32
+}
+
+// newPicker builds the quantized lookup for a validated share vector.
+func newPicker(shares []float64) picker {
+	cum := cumulative(shares)
+	table := make([]int32, pickerBuckets)
+	for b := range table {
+		table[b] = int32(sort.SearchFloat64s(cum, float64(b)/pickerBuckets))
+	}
+	return picker{cum: cum, table: table}
+}
+
+// pick maps a hash to a machine exactly as pick(cum, hash) does.
+func (pk *picker) pick(hash uint64) int32 {
+	u := float64(hash>>11) / (1 << 53)
+	idx := pk.table[int(u*pickerBuckets)]
+	for pk.cum[idx] < u {
+		idx++
+	}
+	return idx
+}

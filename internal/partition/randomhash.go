@@ -15,15 +15,20 @@ func NewRandomHash() *RandomHash { return &RandomHash{} }
 // Name implements Partitioner.
 func (*RandomHash) Name() string { return "random" }
 
-// Partition implements Partitioner.
+// Partition implements Partitioner. Every edge's owner is a pure function of
+// its endpoints and the seed, so the scan is sharded across ParallelShards
+// workers; the result is bit-identical to referenceRandom at any shard count.
 func (*RandomHash) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
 	if err := checkShares(shares, 1); err != nil {
 		return nil, err
 	}
-	cum := cumulative(shares)
+	pk := newPicker(shares)
 	owner := make([]int32, len(g.Edges))
-	for i, e := range g.Edges {
-		owner[i] = pick(cum, edgeHash(seed, e))
-	}
+	parallelRanges(len(g.Edges), func(lo, hi int) {
+		edges := g.Edges[lo:hi]
+		for i := range edges {
+			owner[lo+i] = pk.pick(edgeHash(seed, edges[i]))
+		}
+	})
 	return owner, nil
 }

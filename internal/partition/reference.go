@@ -1,0 +1,57 @@
+package partition
+
+import "proxygraph/internal/graph"
+
+// This file keeps the original single-threaded partitioner loops as
+// executable specifications, mirroring how engine.RunSyncReference anchors
+// the optimized engines: the production paths in randomhash.go, hybrid.go and
+// ginger.go shard their scans and use the quantized picker, and the ingress
+// differential test asserts their owner vectors are bit-identical to these
+// references at every shard count and share vector.
+
+// referenceRandom is the sequential spec of RandomHash.Partition.
+func referenceRandom(g *graph.Graph, shares []float64, seed uint64) []int32 {
+	cum := cumulative(shares)
+	owner := make([]int32, len(g.Edges))
+	for i, e := range g.Edges {
+		owner[i] = pick(cum, edgeHash(seed, e))
+	}
+	return owner
+}
+
+// referenceHybrid is the sequential spec of Hybrid.Partition.
+func referenceHybrid(h *Hybrid, g *graph.Graph, shares []float64, seed uint64) []int32 {
+	cum := cumulative(shares)
+	owner := make([]int32, len(g.Edges))
+	inDeg := g.InDegrees()
+	for i, e := range g.Edges {
+		if inDeg[e.Dst] > h.Threshold {
+			owner[i] = pick(cum, vertexHash(seed+1, e.Src))
+		} else {
+			owner[i] = pick(cum, vertexHash(seed, e.Dst))
+		}
+	}
+	return owner
+}
+
+// referenceGinger is the sequential spec of Ginger.Partition. The greedy
+// refinement is shared with the production path (it is order-dependent and
+// sequential in both); only the hash phases differ in execution strategy.
+func referenceGinger(gp *Ginger, g *graph.Graph, shares []float64, seed uint64) []int32 {
+	cum := cumulative(shares)
+	inDeg := g.InDegrees()
+	owner := make([]int32, len(g.Edges))
+	assign := make([]int32, g.NumVertices)
+	for v := range assign {
+		assign[v] = pick(cum, vertexHash(seed, graph.VertexID(v)))
+	}
+	gp.refine(g, shares, inDeg, assign)
+	for i, e := range g.Edges {
+		if inDeg[e.Dst] > gp.Threshold {
+			owner[i] = pick(cum, vertexHash(seed+1, e.Src))
+		} else {
+			owner[i] = assign[e.Dst]
+		}
+	}
+	return owner
+}

@@ -183,6 +183,18 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			})
 		case KindRebalance:
 			instant(clusterPID, "rebalance", map[string]any{"step": e.Step, "moved_edges": e.Moved})
+		case KindIngress:
+			// Ingress precedes the job's supersteps: render it like a stall so
+			// the charged makespan pushes the whole cluster forward.
+			fold()
+			out = append(out, chromeEvent{
+				Name: "ingress:" + e.Label, Ph: "X", PID: clusterPID, TID: tidStep,
+				TS: usec(global), Dur: usec(e.Seconds),
+			})
+			global += fin(e.Seconds)
+			for i := range machineT {
+				machineT[i] = global
+			}
 		}
 	}
 

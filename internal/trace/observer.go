@@ -79,5 +79,10 @@ func (o *Observer) Event(e Event) {
 		r.Counter("proxygraph_rebalances_total", "Dynamic rebalancing migrations.").Inc()
 		r.Counter("proxygraph_rebalance_moved_edges_total",
 			"Edges migrated by dynamic rebalancing.").Add(float64(e.Moved))
+	case KindIngress:
+		r.Counter("proxygraph_ingress_total", "Session jobs by placement-cache outcome.",
+			"result", e.Label).Inc()
+		r.Counter("proxygraph_ingress_seconds_total",
+			"Simulated ingress makespan charged to session jobs.").Add(e.Seconds)
 	}
 }

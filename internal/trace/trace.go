@@ -48,6 +48,12 @@ const (
 	// KindRebalance is a dynamic rebalancing migration: Moved edges changed
 	// machines (the migration stall follows as a KindStall "migrate" event).
 	KindRebalance
+	// KindIngress reports a job's partitioning/finalization outcome in a
+	// workload session: Label is "hit" (placement served from the session's
+	// placement cache) or "miss" (ingress ran), Seconds the simulated ingress
+	// makespan charged to the session clock (zero for hits, and for sessions
+	// that do not charge ingress).
+	KindIngress
 )
 
 var kindNames = [...]string{
@@ -60,6 +66,7 @@ var kindNames = [...]string{
 	KindCrash:       "crash",
 	KindRecovery:    "recovery",
 	KindRebalance:   "rebalance",
+	KindIngress:     "ingress",
 }
 
 // String names the kind for logs and exporters.

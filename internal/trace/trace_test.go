@@ -6,7 +6,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
-	for k := KindStepBegin; k <= KindRebalance; k++ {
+	for k := KindStepBegin; k <= KindIngress; k++ {
 		if k.String() == "unknown" || k.String() == "" {
 			t.Errorf("kind %d has no name", k)
 		}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"proxygraph/internal/engine"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/partition"
+	"proxygraph/internal/rng"
+)
+
+// PlacementCache memoizes finalized placements across the jobs of a session
+// (or across sessions sharing the cache), keyed by the content of everything
+// ingress depends on: the graph's edges, the partitioner and its parameters,
+// the share vector and the hashing seed. A repeated (graph, partitioner,
+// shares, seed) job skips partitioning and finalization entirely — the paper's
+// Section III-B amortization argument ("graph applications are often reused
+// to analyze dozens of different real world graphs") applied to ingress.
+//
+// Concurrent callers asking for the same key are single-flighted: the first
+// runs ingress, later ones block on its completion and share the placement.
+// Sharing is sound because a Placement is immutable once finalized — every
+// engine entry point treats it as read-only (the lazily compiled GatherBoth
+// blocks are behind a sync.Once).
+type PlacementCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+
+	hits, misses uint64
+	ingressWall  time.Duration
+	graphFP      sync.Map // *graph.Graph -> uint64; graphs are immutable
+}
+
+// cacheKey is the content fingerprint of one ingress invocation.
+type cacheKey struct {
+	graphFP  uint64
+	partFP   uint64
+	sharesFP uint64
+	seed     uint64
+	machines int
+}
+
+// cacheEntry is a single-flight slot: done closes when the placement (or the
+// ingress error) is available.
+type cacheEntry struct {
+	done chan struct{}
+	pl   *engine.Placement
+	err  error
+}
+
+// NewPlacementCache returns an empty cache.
+func NewPlacementCache() *PlacementCache {
+	return &PlacementCache{entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	// Hits counts placements served from the cache (including callers that
+	// joined an in-flight build).
+	Hits uint64
+	// Misses counts ingress runs the cache performed.
+	Misses uint64
+	// IngressWallSeconds is the host wall-clock time spent inside
+	// partition.Apply on misses — the time hits avoid.
+	IngressWallSeconds float64
+}
+
+// Stats returns the current counters.
+func (c *PlacementCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:               c.hits,
+		Misses:             c.misses,
+		IngressWallSeconds: c.ingressWall.Seconds(),
+	}
+}
+
+// Len returns the number of cached placements (including in-flight builds).
+func (c *PlacementCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Place returns the finalized placement for (part, g, shares, seed), running
+// ingress on the first request for a key and serving every repeat from the
+// cache. hit reports whether ingress was skipped.
+func (c *PlacementCache) Place(part partition.Partitioner, g *graph.Graph, shares []float64, seed uint64) (pl *engine.Placement, hit bool, err error) {
+	key := c.key(part, g, shares, seed)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.pl, true, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	start := time.Now()
+	e.pl, e.err = partition.Apply(part, g, shares, seed)
+	elapsed := time.Since(start)
+	close(e.done)
+
+	c.mu.Lock()
+	c.ingressWall += elapsed
+	if e.err != nil {
+		// Do not cache failures: a later retry (e.g. after the caller fixes
+		// its share vector) must re-run ingress.
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	return e.pl, false, e.err
+}
+
+// key fingerprints one ingress invocation.
+func (c *PlacementCache) key(part partition.Partitioner, g *graph.Graph, shares []float64, seed uint64) cacheKey {
+	sharesFP := uint64(0x73686172) // "shar" domain
+	for _, s := range shares {
+		sharesFP = rng.Hash2(sharesFP, math.Float64bits(s))
+	}
+	return cacheKey{
+		graphFP:  c.graphFingerprint(g),
+		partFP:   partitionerFingerprint(part),
+		sharesFP: sharesFP,
+		seed:     seed,
+		machines: len(shares),
+	}
+}
+
+// graphFingerprint hashes the graph's content (vertex count, edge list,
+// weights), memoized per *graph.Graph — graphs in this repository are
+// immutable after construction, so the pointer is a sound memo key while the
+// content hash keeps distinct graphs at the same address from colliding
+// across cache lifetimes.
+func (c *PlacementCache) graphFingerprint(g *graph.Graph) uint64 {
+	if fp, ok := c.graphFP.Load(g); ok {
+		return fp.(uint64)
+	}
+	h := rng.Hash2(0x67726170 /* "grap" domain */, uint64(g.NumVertices))
+	for _, e := range g.Edges {
+		h = rng.Hash3(h, uint64(e.Src), uint64(e.Dst))
+	}
+	for _, w := range g.Weights {
+		h = rng.Hash2(h, uint64(math.Float32bits(w)))
+	}
+	c.graphFP.Store(g, h)
+	return h
+}
+
+// partitionerFingerprint identifies the algorithm and its parameters. The
+// %+v rendering covers every exported field (thresholds, gammas, lambdas), so
+// two instances of the same type with different tuning never share placements.
+func partitionerFingerprint(part partition.Partitioner) uint64 {
+	return rng.HashString(fmt.Sprintf("%s|%T%+v", part.Name(), part, part))
+}
