@@ -10,15 +10,18 @@ test:
 
 # check is the pre-merge gate: static analysis, the race detector over the
 # packages that run goroutines (the destination-sharded engine, the parallel
-# ingress scans, the single-flight placement cache, including the
-# fault-recovery paths exercised by the chaos suite) or are otherwise
-# concurrency-sensitive (the metrics registry), the ingress differential test
-# pinning the parallel partitioners to their sequential specs, and a short
-# fuzz pass over every decoder/encoder boundary.
+# ingress scans, the single-flight placement cache, the multi-tenant job
+# service's worker pool, including the fault-recovery paths exercised by the
+# chaos suite) or are otherwise concurrency-sensitive (the metrics registry),
+# the ingress differential test pinning the parallel partitioners to their
+# sequential specs, the overload golden file pinning the service control
+# plane byte-for-byte, and a short fuzz pass over every decoder/encoder
+# boundary.
 check:
 	go vet ./...
-	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace ./internal/workload
+	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace ./internal/workload ./internal/service
 	go test -run 'TestIngressDifferential|TestCompileBlocksParallelMatchesSequential' ./internal/partition ./internal/engine
+	go test -run 'TestGoldenTables/overload' ./internal/exp
 	$(MAKE) fuzz-smoke
 
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the seed

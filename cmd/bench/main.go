@@ -71,6 +71,7 @@ func experiments() []experiment {
 		{"amortization", "one-time profiling cost vs session gains", one((*exp.Lab).AmortizationStudy)},
 		{"session", "placement cache vs rebuilt ingress, charged sessions", one((*exp.Lab).SessionThroughputStudy)},
 		{"recovery", "checkpoint interval vs crash-recovery cost", one((*exp.Lab).RecoveryStudy)},
+		{"overload", "multi-tenant service under bursty overload (admission, shedding, retries)", one((*exp.Lab).ServiceOverloadStudy)},
 		{"freqsweep", "CCR vs little-machine frequency", one((*exp.Lab).FrequencySweep)},
 		{"abl-hybrid", "hybrid threshold sweep", one((*exp.Lab).AblationHybridThreshold)},
 		{"abl-ginger", "ginger gamma sweep", one((*exp.Lab).AblationGingerGamma)},

@@ -1,0 +1,378 @@
+// Command serve exposes the multi-tenant job service over HTTP: clients
+// submit graph-processing jobs against a simulated heterogeneous cluster and
+// observe admission verdicts, retries, shedding and budgets — the control
+// plane of a production deployment, backed by the same deterministic engines
+// every experiment uses.
+//
+// Endpoints:
+//
+//	POST /jobs            {"tenant","app","graph"}        -> {"id": 7}
+//	GET  /jobs/7                                          -> job status JSON
+//	GET  /jobs?tenant=x                                   -> job list JSON
+//	GET  /tenants                                         -> per-tenant usage
+//	GET  /healthz                                         -> 200 "ok"
+//	GET  /metrics                                         -> Prometheus text
+//
+// Usage:
+//
+//	serve -addr :8080 -cluster xeon:4:2.5,xeon:12:2.5 -scale 256 \
+//	      -tenants gold:2,silver:1:120,bronze:0 -queue 32 -retries 3
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"proxygraph/internal/cliutil"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/rng"
+	"proxygraph/internal/service"
+	"proxygraph/internal/trace"
+	"proxygraph/internal/workload"
+
+	"proxygraph/internal/apps"
+)
+
+// appConfig is everything main needs, assembled by buildConfig so flag
+// validation is testable without binding sockets or generating graphs.
+type appConfig struct {
+	addr     string
+	scale    int
+	seed     uint64
+	traceOut string
+	svc      service.Config
+}
+
+// buildConfig parses and validates the command line. Invalid input — a bad
+// listen address, a negative queue bound, an unwritable trace sink, a
+// malformed tenant spec — fails here, loudly, before any resource is built.
+func buildConfig(args []string) (*appConfig, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "HTTP listen address")
+		clusterSpec = fs.String("cluster", "xeon:4:2.5,xeon:12:2.5", "machines: catalog names or name:cores:freqGHz")
+		scale       = fs.Int("scale", 256, "graph spec scale divisor")
+		seed        = fs.Uint64("seed", 42, "service seed (backoff jitter, graph generation)")
+		tenants     = fs.String("tenants", "gold:2,silver:1,bronze:0", "tenant spec: name:priority[:budget-sim-seconds]")
+		queue       = fs.Int("queue", 64, "global queue bound")
+		tenantQueue = fs.Int("tenant-queue", 0, "per-tenant queue bound (0 = global bound)")
+		retries     = fs.Int("retries", 3, "retries per job")
+		baseBackoff = fs.Float64("base-backoff", 0.05, "base retry backoff seconds")
+		maxBackoff  = fs.Float64("max-backoff", 1, "backoff cap seconds")
+		breaker     = fs.Int("breaker", 5, "circuit-breaker threshold in consecutive failures (0 disables)")
+		cooldown    = fs.Float64("breaker-cooldown", 5, "breaker open interval seconds")
+		workers     = fs.Int("workers", 4, "worker pool size")
+		cacheSize   = fs.Int("cache-entries", 64, "placement cache entry bound (0 = unbounded)")
+		cacheBytes  = fs.Int64("cache-bytes", 0, "placement cache approximate byte bound (0 = unbounded)")
+		charge      = fs.Bool("charge-ingress", true, "charge cold ingress makespans to jobs")
+		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON here on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	host, port, err := net.SplitHostPort(*addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad -addr %q: %v", *addr, err)
+	}
+	if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		return nil, fmt.Errorf("serve: bad port %q in -addr", port)
+	}
+	_ = host
+	if *scale < 1 {
+		return nil, fmt.Errorf("serve: -scale must be positive, got %d", *scale)
+	}
+	cl, err := cliutil.ParseCluster(*clusterSpec)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := parseTenants(*tenants)
+	if err != nil {
+		return nil, err
+	}
+	if *traceOut != "" {
+		// Validate the sink now: discovering an unwritable path hours into a
+		// run would lose the whole trace.
+		f, err := os.OpenFile(*traceOut, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace sink: %v", err)
+		}
+		f.Close()
+	}
+
+	cfg := &appConfig{
+		addr:     *addr,
+		scale:    *scale,
+		seed:     *seed,
+		traceOut: *traceOut,
+		svc: service.Config{
+			Cluster:          cl,
+			Cache:            workload.NewBoundedPlacementCache(*cacheSize, *cacheBytes),
+			ChargeIngress:    *charge,
+			Tenants:          ts,
+			QueueBound:       *queue,
+			TenantQueueBound: *tenantQueue,
+			MaxRetries:       *retries,
+			BaseBackoff:      *baseBackoff,
+			MaxBackoff:       *maxBackoff,
+			BreakerThreshold: *breaker,
+			BreakerCooldown:  *cooldown,
+			Workers:          *workers,
+			Seed:             *seed,
+		},
+	}
+	// Surface service-level validation (negative bounds and durations, tenant
+	// spec problems) at startup rather than from New deep in main.
+	if err := cfg.svc.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// parseTenants parses "name:priority[:budget-sim-seconds]" entries.
+func parseTenants(spec string) ([]service.Tenant, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []service.Tenant
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 3 || parts[0] == "" {
+			return nil, fmt.Errorf("serve: bad tenant entry %q (want name:priority[:budget])", entry)
+		}
+		prio, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad priority in %q: %v", entry, err)
+		}
+		t := service.Tenant{Name: parts[0], Priority: prio}
+		if len(parts) == 3 {
+			budget, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || budget < 0 {
+				return nil, fmt.Errorf("serve: bad budget in %q", entry)
+			}
+			t.Budget.SimSeconds = budget
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// server binds the service to HTTP handlers.
+type server struct {
+	svc    *service.Service
+	reg    *trace.Registry
+	graphs map[string]*graph.Graph
+	seeds  map[string]uint64
+}
+
+// newServer generates the Table II graph catalog at 1/scale and starts the
+// service with an Observer folding every event into the registry.
+func newServer(cfg *appConfig, extra trace.Collector) (*server, error) {
+	reg := trace.NewRegistry()
+	cfg.svc.Trace = trace.Multi(trace.NewObserver(reg), extra)
+
+	graphs := make(map[string]*graph.Graph)
+	seeds := make(map[string]uint64)
+	for i, spec := range gen.RealGraphs() {
+		g, err := gen.Generate(spec.Scale(cfg.scale), rng.Hash2(cfg.seed, uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		graphs[spec.Name] = g
+		seeds[spec.Name] = rng.Hash2(cfg.seed^0x696e67, uint64(i))
+	}
+	svc, err := service.New(cfg.svc)
+	if err != nil {
+		return nil, err
+	}
+	return &server{svc: svc, reg: reg, graphs: graphs, seeds: seeds}, nil
+}
+
+// submitRequest is the POST /jobs payload.
+type submitRequest struct {
+	Tenant string `json:"tenant"`
+	App    string `json:"app"`
+	Graph  string `json:"graph"`
+	// DeadlineSeconds, when positive, bounds the job's total lifetime: if it
+	// has not completed within that window it is shed or failed.
+	DeadlineSeconds float64 `json:"deadline_seconds"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	app, err := apps.ByName(req.App)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, ok := s.graphs[req.Graph]
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown graph %q", req.Graph))
+		return
+	}
+	// The job outlives the HTTP request — submission is asynchronous — so its
+	// lifetime context is detached from r.Context(). A requested deadline
+	// becomes a timeout; its cancel fires when the timer does.
+	ctx := context.Background()
+	if req.DeadlineSeconds > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineSeconds*float64(time.Second)))
+		// The context must stay live for the job's whole run; releasing the
+		// timer early would sever the deadline. It self-releases on expiry.
+		_ = cancel
+	}
+	id, err := s.svc.Submit(ctx, req.Tenant, workload.Job{App: app, Graph: g, Seed: s.seeds[req.Graph]})
+	if err != nil {
+		httpError(w, admissionStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"id": id})
+}
+
+// admissionStatus maps the typed admission errors onto HTTP semantics:
+// overload and an open breaker are backpressure (429), an exhausted budget is
+// a hard client-side stop (403), a closed service is 503.
+func admissionStatus(err error) int {
+	switch {
+	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrCircuitOpen):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrBudgetExhausted):
+		return http.StatusForbidden
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleSubmit(w, r)
+		return
+	}
+	if id := strings.TrimPrefix(r.URL.Path, "/jobs/"); id != "" && id != r.URL.Path {
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", id))
+			return
+		}
+		st, err := s.svc.Status(n)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.svc.List(r.URL.Query().Get("tenant")))
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Fold the point-in-time service state into gauges alongside the
+	// event-driven series the Observer maintains.
+	c := s.svc.Counters()
+	s.reg.Gauge("proxygraph_jobs_completed", "jobs completed").Set(float64(c.Completed))
+	s.reg.Gauge("proxygraph_jobs_failed", "jobs terminally failed").Set(float64(c.Failed))
+	s.reg.Gauge("proxygraph_jobs_submitted", "submissions").Set(float64(c.Submitted))
+	if stats := s.svc.CacheStats(); stats != nil {
+		s.reg.Gauge("proxygraph_placement_cache_hits", "placement cache hits").Set(float64(stats.Hits))
+		s.reg.Gauge("proxygraph_placement_cache_misses", "placement cache misses").Set(float64(stats.Misses))
+		s.reg.Gauge("proxygraph_placement_cache_evictions", "placement cache evictions").Set(float64(stats.Evictions))
+		s.reg.Gauge("proxygraph_placement_cache_entries", "placement cache entries").Set(float64(stats.Entries))
+		s.reg.Gauge("proxygraph_placement_cache_bytes", "placement cache approximate bytes").Set(float64(stats.Bytes))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJobs)
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.svc.Usage())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.svc.Healthy() {
+			httpError(w, http.StatusServiceUnavailable, errors.New("closed"))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func main() {
+	cfg, err := buildConfig(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var rec *trace.Recorder
+	var collector trace.Collector
+	if cfg.traceOut != "" {
+		rec = trace.NewRecorder()
+		collector = rec
+	}
+	srv, err := newServer(cfg, collector)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.mux()}
+	go func() {
+		fmt.Printf("serving on %s (%d graphs, %d tenants)\n", cfg.addr, len(srv.graphs), len(cfg.svc.Tenants))
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	srv.svc.Close()
+	if rec != nil {
+		f, err := os.Create(cfg.traceOut)
+		if err == nil {
+			_ = trace.WriteChromeTrace(f, rec.Events)
+			f.Close()
+			fmt.Printf("wrote trace to %s\n", cfg.traceOut)
+		}
+	}
+}

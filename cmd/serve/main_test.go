@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"proxygraph/internal/service"
+)
+
+// TestBuildConfigValidation pins the loud-failure contract: every malformed
+// flag is rejected at startup, before sockets bind or graphs generate.
+func TestBuildConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad port", []string{"-addr", ":notaport"}},
+		{"port out of range", []string{"-addr", ":70000"}},
+		{"no port separator", []string{"-addr", "localhost"}},
+		{"negative queue bound", []string{"-queue", "-1"}},
+		{"negative tenant queue", []string{"-tenant-queue", "-3"}},
+		{"negative retries", []string{"-retries", "-1"}},
+		{"negative workers", []string{"-workers", "-2"}},
+		{"negative backoff", []string{"-base-backoff", "-0.5"}},
+		{"zero scale", []string{"-scale", "0"}},
+		{"bad cluster", []string{"-cluster", "xeon:four:2.5"}},
+		{"bad tenant entry", []string{"-tenants", "gold"}},
+		{"bad tenant priority", []string{"-tenants", "gold:high"}},
+		{"bad tenant budget", []string{"-tenants", "gold:2:-5"}},
+		{"duplicate tenants", []string{"-tenants", "a:1,a:2"}},
+		{"unwritable trace sink", []string{"-trace-out", "/nonexistent-dir/trace.json"}},
+	}
+	for _, tc := range cases {
+		if _, err := buildConfig(tc.args); err == nil {
+			t.Errorf("%s: accepted %v", tc.name, tc.args)
+		}
+	}
+}
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := buildConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.scale != 256 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if len(cfg.svc.Tenants) != 3 || cfg.svc.Tenants[0].Name != "gold" || cfg.svc.Tenants[0].Priority != 2 {
+		t.Fatalf("tenants: %+v", cfg.svc.Tenants)
+	}
+	if cfg.svc.Cluster == nil || len(cfg.svc.Cluster.Machines) != 2 {
+		t.Fatal("default cluster not built")
+	}
+}
+
+func TestParseTenantsBudgets(t *testing.T) {
+	ts, err := parseTenants("gold:2,silver:1:120.5,bronze:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[1].Budget.SimSeconds != 120.5 || ts[0].Budget.SimSeconds != 0 {
+		t.Fatalf("parsed: %+v", ts)
+	}
+}
+
+// TestServeHTTP drives the full HTTP surface against a live service: submit,
+// status, list, tenants, healthz and a real Prometheus metrics endpoint.
+func TestServeHTTP(t *testing.T) {
+	cfg, err := buildConfig([]string{
+		"-scale", "512", "-queue", "16", "-retries", "1",
+		"-tenants", "gold:2,bronze:0:0.000001", // bronze: near-zero budget
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.svc.Close()
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		return resp, m
+	}
+
+	// Health first.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+
+	// Bad submissions.
+	if resp, _ := post(`{"tenant":"gold","app":"nope","graph":"social_network"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown app: %d", resp.StatusCode)
+	}
+	if resp, _ := post(`{"tenant":"gold","app":"pagerank","graph":"nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown graph: %d", resp.StatusCode)
+	}
+
+	// A good submission is accepted with an id.
+	resp, m := post(`{"tenant":"gold","app":"pagerank","graph":"social_network"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, m)
+	}
+	id := int(m["id"].(float64))
+
+	// Wait for it to finish, then check status over HTTP.
+	deadline := time.Now().Add(30 * time.Second)
+	var st service.JobStatus
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + strconv.Itoa(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != "done" || st.ExecSeconds <= 0 {
+		t.Fatalf("status: %+v", st)
+	}
+
+	// Budget: bronze has an effectively zero budget — once it completes one
+	// job its spend crosses the cap and later submissions are 403s.
+	resp, m = post(`{"tenant":"bronze","app":"pagerank","graph":"social_network"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bronze first submit: %d %v", resp.StatusCode, m)
+	}
+	bronzeID := int(m["id"].(float64))
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + strconv.Itoa(bronzeID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bronze job stuck")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if resp, _ := post(`{"tenant":"bronze","app":"pagerank","graph":"social_network"}`); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("over-budget submit: %d", resp.StatusCode)
+	}
+
+	// Unknown job id is a 404; bad id a 400.
+	if resp, err := http.Get(ts.URL + "/jobs/99999"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %v %v", resp.StatusCode, err)
+	}
+	if resp, err := http.Get(ts.URL + "/jobs/abc"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id: %v %v", resp.StatusCode, err)
+	}
+
+	// List and tenant filter.
+	var list []service.JobStatus
+	resp, err = http.Get(ts.URL + "/jobs?tenant=gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].Tenant != "gold" {
+		t.Fatalf("gold list: %+v", list)
+	}
+
+	// Tenants endpoint reports bronze's spend.
+	var usage []service.TenantUsage
+	resp, err = http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&usage); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	spent := false
+	for _, u := range usage {
+		if u.Tenant.Name == "bronze" && u.SpentSeconds > 0 {
+			spent = true
+		}
+	}
+	if !spent {
+		t.Fatalf("bronze spend missing: %+v", usage)
+	}
+
+	// Metrics: real Prometheus exposition with both observer-fed series and
+	// the point-in-time cache/service gauges.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		"proxygraph_admissions_total",
+		"proxygraph_jobs_completed",
+		"proxygraph_placement_cache_hits",
+		"# TYPE",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+

@@ -32,6 +32,7 @@ func TestGoldenTables(t *testing.T) {
 		{"fig4", func() (interface{ String() string }, error) { return lab.Fig4() }},
 		{"fig8a", func() (interface{ String() string }, error) { return lab.Fig8a() }},
 		{"recovery", func() (interface{ String() string }, error) { return lab.RecoveryStudy() }},
+		{"overload", func() (interface{ String() string }, error) { return lab.ServiceOverloadStudy() }},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -1,0 +1,44 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"proxygraph/internal/rng"
+)
+
+// ErrTransient marks an injected transient attempt failure; retries are
+// expected to clear it.
+var ErrTransient = errors.New("service: injected transient fault")
+
+// Flaky injects deterministic transient errors into job attempts — the
+// simulated analogue of flaky ingress I/O (a partition fetch timing out, a
+// mirror-table exchange dropping a connection). Each job id draws a failure
+// count in [0, MaxFailures] from Seed; the job's first that-many attempts
+// fail with ErrTransient and every later attempt runs normally. The count is
+// a pure function of (Seed, job id, attempt), so a service configured with
+// MaxRetries >= MaxFailures deterministically completes every admitted job —
+// the property the chaos-equivalence test pins.
+type Flaky struct {
+	// Seed selects the per-job failure pattern.
+	Seed uint64
+	// MaxFailures bounds the consecutive failures of any one job.
+	MaxFailures int
+}
+
+// Failures returns how many leading attempts of jobID fail.
+func (f *Flaky) Failures(jobID int) int {
+	if f == nil || f.MaxFailures <= 0 {
+		return 0
+	}
+	return int(rng.Hash3(f.Seed, 0x666c616b /* "flak" */, uint64(jobID)) % uint64(f.MaxFailures+1))
+}
+
+// Err returns the injected error for a job's attempt (0-based), or nil when
+// the attempt should run. A nil *Flaky never fails anything.
+func (f *Flaky) Err(jobID, attempt int) error {
+	if n := f.Failures(jobID); attempt < n {
+		return fmt.Errorf("%w (job %d attempt %d/%d)", ErrTransient, jobID, attempt, n)
+	}
+	return nil
+}

@@ -1,0 +1,577 @@
+// Package service turns workload.Session's batch loop into a long-running
+// multi-tenant job service: per-tenant job streams enter through admission
+// control (bounded per-tenant and global queues that reject rather than block),
+// run on a worker pool with context deadline/cancellation propagation, retry
+// transient failures with capped exponential backoff and deterministic seeded
+// jitter, and degrade gracefully under pressure — priority load shedding, a
+// per-tenant circuit breaker, and per-tenant simulated-cost/energy budgets
+// charged from the advisor-guided execution accounting.
+//
+// The control-plane logic (admission verdicts, queue order, shedding, breaker
+// transitions, backoff arithmetic, budget charging) lives in a time-abstract
+// state machine (this file) that two drivers share: the live concurrent
+// Service (service.go), whose clock is wall time, and the discrete-event
+// Replay (replay.go), whose clock is simulated seconds — so the overload
+// experiments are byte-deterministic while the live service exercises real
+// goroutines, channels and contexts with identical policy decisions.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"proxygraph/internal/engine"
+	"proxygraph/internal/rng"
+	"proxygraph/internal/trace"
+	"proxygraph/internal/workload"
+)
+
+// Typed admission errors. Callers (and the HTTP front end) distinguish these
+// to map overload to backpressure, breaker rejections to retry-later, and
+// budget exhaustion to a hard per-tenant stop.
+var (
+	// ErrOverloaded rejects a submission because the global or per-tenant
+	// queue bound is reached and no lower-priority job can be shed for it.
+	ErrOverloaded = errors.New("service: overloaded, queue bounds reached")
+	// ErrCircuitOpen rejects a submission while the tenant's circuit breaker
+	// is open after consecutive failures.
+	ErrCircuitOpen = errors.New("service: circuit breaker open")
+	// ErrBudgetExhausted rejects a submission because the tenant has spent
+	// its simulated-time or energy budget.
+	ErrBudgetExhausted = errors.New("service: tenant budget exhausted")
+	// ErrClosed rejects submissions to a closed service.
+	ErrClosed = errors.New("service: closed")
+	// ErrUnknownJob reports a Status/Wait lookup for an id never issued.
+	ErrUnknownJob = errors.New("service: unknown job id")
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// StateQueued means admitted and waiting for a worker (or for a retry
+	// backoff to elapse).
+	StateQueued State = iota
+	// StateRunning means an attempt is executing.
+	StateRunning
+	// StateDone means the job completed successfully.
+	StateDone
+	// StateFailed means every allowed attempt failed (or the job's context
+	// was cancelled / its deadline expired before completion).
+	StateFailed
+	// StateShed means the job was evicted from the queue without running —
+	// load shedding in favour of a higher-priority arrival, or a deadline
+	// that expired while queued.
+	StateShed
+	// StateCanceled means the service closed before the job ran.
+	StateCanceled
+)
+
+var stateNames = [...]string{"queued", "running", "done", "failed", "shed", "canceled"}
+
+// String names the state for logs, tables and the HTTP API.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Budget caps a tenant's cumulative charged cost. Zero fields are unlimited.
+type Budget struct {
+	// SimSeconds caps charged simulated time (execution plus charged
+	// ingress).
+	SimSeconds float64
+	// EnergyJoules caps charged cluster energy.
+	EnergyJoules float64
+}
+
+// Tenant declares one tenant's service class.
+type Tenant struct {
+	// Name identifies the tenant in Submit calls.
+	Name string
+	// Priority orders tenants under pressure: higher-priority submissions
+	// may shed queued lower-priority jobs when the global queue is full.
+	Priority int
+	// Budget bounds the tenant's cumulative charged cost; the zero value is
+	// unlimited.
+	Budget Budget
+}
+
+// Counters aggregates the service's control-plane activity.
+type Counters struct {
+	// Submitted counts Submit calls; Admitted the ones that entered a queue.
+	Submitted, Admitted uint64
+	// RejectedOverload / RejectedBreaker / RejectedBudget split the
+	// rejections by verdict.
+	RejectedOverload, RejectedBreaker, RejectedBudget uint64
+	// ShedPriority counts queued jobs evicted for higher-priority arrivals;
+	// ShedDeadline queued jobs dropped because their deadline expired.
+	ShedPriority, ShedDeadline uint64
+	// Retries counts failed attempts rescheduled with backoff.
+	Retries uint64
+	// Completed and Failed count terminal outcomes; Canceled jobs were
+	// queued when the service closed.
+	Completed, Failed, Canceled uint64
+	// BreakerTrips counts closed→open transitions across tenants.
+	BreakerTrips uint64
+}
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// tenantState is one tenant's runtime state.
+type tenantState struct {
+	Tenant
+	queued       int
+	spentSeconds float64
+	spentJoules  float64
+
+	breaker      int
+	consecFails  int
+	openedAt     float64
+	probeRunning bool
+}
+
+// jobState is one submitted job's full record. The machine owns every field;
+// drivers read snapshots via status().
+type jobState struct {
+	id       int
+	tenant   string
+	priority int
+	job      workload.Job
+
+	// ctx is the submitter's context (live service only; nil in replays).
+	ctx context.Context
+	// deadline is an absolute clock value (replay only; 0 = none).
+	deadline float64
+
+	state       State
+	attempts    int
+	enqueuedAt  float64
+	readyAt     float64
+	submittedAt float64
+	queueWait   float64 // accumulated across dispatches
+
+	result  *engine.Result
+	ingress float64
+	cacheHit bool
+	err     error
+
+	done chan struct{} // closed on terminal state (live service)
+}
+
+// terminal reports whether the job reached a final state.
+func (j *jobState) terminal() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateShed || j.state == StateCanceled
+}
+
+// machine is the shared control-plane state machine. It is not safe for
+// concurrent use: the live Service guards it with its mutex, the replay
+// driver is single-threaded. All times are opaque clock values supplied by
+// the driver — wall seconds live, simulated seconds in replay.
+type machine struct {
+	cfg      Config
+	tenants  map[string]*tenantState
+	jobs     map[int]*jobState
+	queue    []*jobState // admitted, waiting; unordered (selection scans)
+	nextID   int
+	running  int
+	counters Counters
+	// queueWaits collects every dispatch's wait for percentile reporting.
+	queueWaits []float64
+}
+
+func newMachine(cfg Config) *machine {
+	m := &machine{
+		cfg:     cfg,
+		tenants: make(map[string]*tenantState),
+		jobs:    make(map[int]*jobState),
+	}
+	for _, t := range cfg.Tenants {
+		m.tenants[t.Name] = &tenantState{Tenant: t}
+	}
+	return m
+}
+
+// tenant returns (creating on first use) the named tenant's state. Unknown
+// tenants get priority 0 and an unlimited budget.
+func (m *machine) tenant(name string) *tenantState {
+	ts, ok := m.tenants[name]
+	if !ok {
+		ts = &tenantState{Tenant: Tenant{Name: name}}
+		m.tenants[name] = ts
+	}
+	return ts
+}
+
+// emit forwards a control-plane event to the configured collector.
+func (m *machine) emit(e trace.Event) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Event(e)
+	}
+}
+
+// submit runs the admission pipeline at clock value now. On admission the
+// returned job is queued; otherwise the typed error names the verdict.
+func (m *machine) submit(now float64, tenant string, job workload.Job, ctx context.Context, deadline float64) (*jobState, error) {
+	m.counters.Submitted++
+	ts := m.tenant(tenant)
+
+	// Circuit breaker: open rejects until the cooldown elapses; the first
+	// submission after it becomes the half-open probe.
+	if m.cfg.BreakerThreshold > 0 {
+		switch ts.breaker {
+		case breakerOpen:
+			if now-ts.openedAt < m.cfg.BreakerCooldown {
+				m.counters.RejectedBreaker++
+				m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-breaker"})
+				return nil, fmt.Errorf("%w (tenant %q, %.2fs into cooldown)", ErrCircuitOpen, tenant, now-ts.openedAt)
+			}
+			ts.breaker = breakerHalfOpen
+			ts.probeRunning = false
+			m.emit(trace.Event{Kind: trace.KindBreaker, Machine: -1, Label: "half-open"})
+		case breakerHalfOpen:
+			if ts.probeRunning {
+				m.counters.RejectedBreaker++
+				m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-breaker"})
+				return nil, fmt.Errorf("%w (tenant %q, probe in flight)", ErrCircuitOpen, tenant)
+			}
+		}
+	}
+
+	// Budget: post-paid — jobs are admitted until the spend crosses the cap,
+	// then the tenant is cut off. The charge is the advisor-guided execution
+	// accounting (plus charged ingress), so budgets measure the same
+	// simulated cost every experiment table reports.
+	if (ts.Budget.SimSeconds > 0 && ts.spentSeconds >= ts.Budget.SimSeconds) ||
+		(ts.Budget.EnergyJoules > 0 && ts.spentJoules >= ts.Budget.EnergyJoules) {
+		m.counters.RejectedBudget++
+		m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-budget"})
+		return nil, fmt.Errorf("%w (tenant %q spent %.3fs / %.1fJ)", ErrBudgetExhausted, tenant, ts.spentSeconds, ts.spentJoules)
+	}
+
+	// Per-tenant bound: a tenant flooding its own queue is rejected without
+	// touching anyone else's jobs.
+	if ts.queued >= m.cfg.TenantQueueBound {
+		m.counters.RejectedOverload++
+		m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-overload"})
+		return nil, fmt.Errorf("%w (tenant %q queue at bound %d)", ErrOverloaded, tenant, m.cfg.TenantQueueBound)
+	}
+
+	// Global bound: shed the lowest-priority queued job if the arrival
+	// outranks it, otherwise reject.
+	if len(m.queue) >= m.cfg.QueueBound {
+		victim := m.shedCandidate(ts.Priority)
+		if victim == nil {
+			m.counters.RejectedOverload++
+			m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-overload"})
+			return nil, fmt.Errorf("%w (global queue at bound %d)", ErrOverloaded, m.cfg.QueueBound)
+		}
+		m.shed(victim, "priority")
+	}
+
+	m.nextID++
+	js := &jobState{
+		id:          m.nextID,
+		tenant:      tenant,
+		priority:    ts.Priority,
+		job:         job,
+		ctx:         ctx,
+		deadline:    deadline,
+		state:       StateQueued,
+		enqueuedAt:  now,
+		readyAt:     now,
+		submittedAt: now,
+		done:        make(chan struct{}),
+	}
+	m.jobs[js.id] = js
+	m.queue = append(m.queue, js)
+	ts.queued++
+	if m.cfg.BreakerThreshold > 0 && ts.breaker == breakerHalfOpen {
+		ts.probeRunning = true
+	}
+	m.counters.Admitted++
+	m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Step: js.id, Label: "admit"})
+	return js, nil
+}
+
+// shedCandidate returns the queued job load shedding would evict for an
+// arrival of the given priority: the lowest-priority strictly-outranked job,
+// oldest first among equals — or nil when nothing is outranked.
+func (m *machine) shedCandidate(arriving int) *jobState {
+	var victim *jobState
+	for _, js := range m.queue {
+		if js.priority >= arriving {
+			continue
+		}
+		if victim == nil || js.priority < victim.priority ||
+			(js.priority == victim.priority && js.id < victim.id) {
+			victim = js
+		}
+	}
+	return victim
+}
+
+// shed evicts a queued job with the given reason ("priority" or "deadline").
+func (m *machine) shed(js *jobState, reason string) {
+	m.removeQueued(js)
+	js.state = StateShed
+	js.err = fmt.Errorf("service: shed (%s)", reason)
+	if reason == "deadline" {
+		m.counters.ShedDeadline++
+	} else {
+		m.counters.ShedPriority++
+	}
+	m.emit(trace.Event{Kind: trace.KindShed, Machine: -1, Step: js.id, Label: reason})
+	m.finish(js)
+}
+
+// removeQueued drops a job from the queue slice and its tenant's count.
+func (m *machine) removeQueued(js *jobState) {
+	for i, q := range m.queue {
+		if q == js {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	m.tenant(js.tenant).queued--
+}
+
+// finish closes the job's completion channel (idempotently safe because it is
+// only called once per terminal transition).
+func (m *machine) finish(js *jobState) {
+	if js.done != nil {
+		close(js.done)
+	}
+}
+
+// dispatch selects the next runnable job at clock value now: the
+// highest-priority queued job whose backoff has elapsed, FIFO among equals.
+// Queued jobs whose deadline already passed are shed on the way. It returns
+// nil when nothing is ready; wait is then the delay until the earliest
+// backoff expires (0 when the queue is empty).
+func (m *machine) dispatch(now float64) (js *jobState, wait float64) {
+	// Shed expired jobs first so they never occupy a worker.
+	for i := 0; i < len(m.queue); {
+		q := m.queue[i]
+		expired := q.deadline > 0 && now > q.deadline
+		if !expired && q.ctx != nil && q.ctx.Err() != nil {
+			expired = true
+		}
+		if expired {
+			m.shed(q, "deadline")
+			continue // removeQueued shifted the slice; same index again
+		}
+		i++
+	}
+	var best *jobState
+	minReady := math.Inf(1)
+	for _, q := range m.queue {
+		if q.readyAt > now {
+			if q.readyAt < minReady {
+				minReady = q.readyAt
+			}
+			continue
+		}
+		if best == nil || q.priority > best.priority ||
+			(q.priority == best.priority && q.id < best.id) {
+			best = q
+		}
+	}
+	if best == nil {
+		if math.IsInf(minReady, 1) {
+			return nil, 0
+		}
+		return nil, minReady - now
+	}
+	m.removeQueued(best)
+	best.state = StateRunning
+	m.running++
+	w := now - best.enqueuedAt
+	best.queueWait += w
+	m.queueWaits = append(m.queueWaits, w)
+	m.emit(trace.Event{Kind: trace.KindQueue, Machine: -1, Step: best.id, Label: best.tenant, Seconds: w})
+	return best, 0
+}
+
+// complete records a successful attempt finishing at clock value now: budget
+// charges, breaker close, terminal bookkeeping.
+func (m *machine) complete(now float64, js *jobState, jr *workload.JobResult) {
+	ts := m.tenant(js.tenant)
+	js.state = StateDone
+	js.result = jr.Exec
+	js.ingress = jr.IngressSeconds
+	js.cacheHit = jr.CacheHit
+	ts.spentSeconds += jr.IngressSeconds + jr.Exec.SimSeconds
+	ts.spentJoules += jr.Exec.EnergyJoules
+	m.running--
+	m.counters.Completed++
+	if m.cfg.BreakerThreshold > 0 {
+		ts.consecFails = 0
+		if ts.breaker != breakerClosed {
+			ts.breaker = breakerClosed
+			ts.probeRunning = false
+			m.emit(trace.Event{Kind: trace.KindBreaker, Machine: -1, Label: "close"})
+		}
+	}
+	m.finish(js)
+}
+
+// fail records a failed attempt at clock value now. Retryable failures go
+// back into the queue with capped exponential backoff and deterministic
+// seeded jitter; exhausted (or cancelled) jobs become terminal and feed the
+// tenant's circuit breaker.
+func (m *machine) fail(now float64, js *jobState, err error, retryable bool) {
+	m.running--
+	js.attempts++
+	js.err = err
+	if retryable && js.attempts <= m.cfg.MaxRetries {
+		backoff := m.backoff(js.id, js.attempts)
+		js.state = StateQueued
+		js.enqueuedAt = now
+		js.readyAt = now + backoff
+		m.queue = append(m.queue, js)
+		m.tenant(js.tenant).queued++
+		m.counters.Retries++
+		m.emit(trace.Event{Kind: trace.KindRetry, Machine: -1, Step: js.id, Resume: js.attempts, Label: js.tenant, Seconds: backoff})
+		return
+	}
+	js.state = StateFailed
+	m.counters.Failed++
+	ts := m.tenant(js.tenant)
+	if m.cfg.BreakerThreshold > 0 {
+		ts.consecFails++
+		tripped := ts.breaker == breakerClosed && ts.consecFails >= m.cfg.BreakerThreshold
+		reopened := ts.breaker == breakerHalfOpen // failed probe
+		if tripped || reopened {
+			ts.breaker = breakerOpen
+			ts.openedAt = now
+			ts.probeRunning = false
+			m.counters.BreakerTrips++
+			m.emit(trace.Event{Kind: trace.KindBreaker, Machine: -1, Label: "trip"})
+		}
+	}
+	m.finish(js)
+}
+
+// backoff returns the capped exponential backoff with deterministic jitter
+// for a job's n-th failed attempt (n >= 1): base·2^(n−1), capped, scaled by a
+// jitter factor in [0.5, 1.5) drawn from the service seed, the job id and the
+// attempt — the same triple always yields the same delay, which keeps replays
+// and chaos tests bit-reproducible (internal/rng, not math/rand).
+func (m *machine) backoff(jobID, attempt int) float64 {
+	d := m.cfg.BaseBackoff * math.Pow(2, float64(attempt-1))
+	if d > m.cfg.MaxBackoff {
+		d = m.cfg.MaxBackoff
+	}
+	u := float64(rng.Hash3(m.cfg.Seed, uint64(jobID), uint64(attempt))>>11) / (1 << 53)
+	return d * (0.5 + u)
+}
+
+// cancelQueued marks every queued job canceled (service shutdown).
+func (m *machine) cancelQueued() {
+	for _, js := range m.queue {
+		m.tenant(js.tenant).queued--
+		js.state = StateCanceled
+		js.err = ErrClosed
+		m.counters.Canceled++
+		m.finish(js)
+	}
+	m.queue = nil
+}
+
+// idle reports no queued or running work.
+func (m *machine) idle() bool { return len(m.queue) == 0 && m.running == 0 }
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	ID       int     `json:"id"`
+	Tenant   string  `json:"tenant"`
+	App      string  `json:"app"`
+	Graph    string  `json:"graph"`
+	Priority int     `json:"priority"`
+	State    string  `json:"state"`
+	Attempts int     `json:"attempts"`
+	// QueueWaitSeconds accumulates the waits of every dispatch (clock units
+	// of the driver: wall seconds live, simulated seconds in replay).
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	// ExecSeconds / IngressSeconds / EnergyJoules are the simulated charges
+	// of the successful attempt (zero otherwise).
+	ExecSeconds    float64 `json:"exec_seconds"`
+	IngressSeconds float64 `json:"ingress_seconds"`
+	EnergyJoules   float64 `json:"energy_joules"`
+	CacheHit       bool    `json:"cache_hit"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// status snapshots a job.
+func (m *machine) status(js *jobState) JobStatus {
+	st := JobStatus{
+		ID:               js.id,
+		Tenant:           js.tenant,
+		App:              js.job.App.Name(),
+		Priority:         js.priority,
+		State:            js.state.String(),
+		Attempts:         js.attempts,
+		QueueWaitSeconds: js.queueWait,
+		IngressSeconds:   js.ingress,
+		CacheHit:         js.cacheHit,
+	}
+	if js.job.Graph != nil {
+		st.Graph = js.job.Graph.Name
+	}
+	if js.result != nil {
+		st.ExecSeconds = js.result.SimSeconds
+		st.EnergyJoules = js.result.EnergyJoules
+	}
+	if js.err != nil {
+		st.Error = js.err.Error()
+	}
+	return st
+}
+
+// list snapshots every job (optionally one tenant's), sorted by id.
+func (m *machine) list(tenant string) []JobStatus {
+	out := make([]JobStatus, 0, len(m.jobs))
+	for _, js := range m.jobs {
+		if tenant != "" && js.tenant != tenant {
+			continue
+		}
+		out = append(out, m.status(js))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// TenantUsage is one tenant's cumulative spend against its budget.
+type TenantUsage struct {
+	Tenant       Tenant  `json:"tenant"`
+	SpentSeconds float64 `json:"spent_seconds"`
+	SpentJoules  float64 `json:"spent_joules"`
+	Queued       int     `json:"queued"`
+	BreakerOpen  bool    `json:"breaker_open"`
+}
+
+// usage snapshots every tenant, sorted by name.
+func (m *machine) usage() []TenantUsage {
+	out := make([]TenantUsage, 0, len(m.tenants))
+	for _, ts := range m.tenants {
+		out = append(out, TenantUsage{
+			Tenant:       ts.Tenant,
+			SpentSeconds: ts.spentSeconds,
+			SpentJoules:  ts.spentJoules,
+			Queued:       ts.queued,
+			BreakerOpen:  ts.breaker == breakerOpen,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant.Name < out[b].Tenant.Name })
+	return out
+}

@@ -195,6 +195,16 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			for i := range machineT {
 				machineT[i] = global
 			}
+		case KindAdmit:
+			instant(clusterPID, "admit:"+e.Label, map[string]any{"job": e.Step})
+		case KindQueue:
+			instant(clusterPID, "dequeue", map[string]any{"job": e.Step, "tenant": e.Label, "wait_s": fin(e.Seconds)})
+		case KindRetry:
+			instant(clusterPID, "retry", map[string]any{"job": e.Step, "attempt": e.Resume, "backoff_s": fin(e.Seconds)})
+		case KindShed:
+			instant(clusterPID, "shed:"+e.Label, map[string]any{"job": e.Step})
+		case KindBreaker:
+			instant(clusterPID, "breaker:"+e.Label, nil)
 		}
 	}
 

@@ -6,6 +6,10 @@ import "strconv"
 // active vertices cover every graph in the repository.
 var frontierBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6}
 
+// queueWaitBuckets covers queue waits from sub-millisecond dispatch on an
+// idle service to tens of seconds under sustained overload.
+var queueWaitBuckets = []float64{1e-3, 1e-2, 0.1, 0.5, 1, 5, 10, 30}
+
 // Observer is a Collector that folds the event stream into a Registry. All
 // metric names carry the proxygraph_ prefix; per-machine series are labelled
 // machine="<index>". Attach it live via engine.Options.Trace, or replay a
@@ -84,5 +88,21 @@ func (o *Observer) Event(e Event) {
 			"result", e.Label).Inc()
 		r.Counter("proxygraph_ingress_seconds_total",
 			"Simulated ingress makespan charged to session jobs.").Add(e.Seconds)
+	case KindAdmit:
+		r.Counter("proxygraph_admissions_total", "Job-service submissions by admission verdict.",
+			"verdict", e.Label).Inc()
+	case KindQueue:
+		r.Histogram("proxygraph_queue_wait_seconds", "Time jobs waited in the service queue before dispatch.",
+			queueWaitBuckets).Observe(e.Seconds)
+	case KindRetry:
+		r.Counter("proxygraph_retries_total", "Failed job attempts rescheduled with backoff.").Inc()
+		r.Counter("proxygraph_backoff_seconds_total", "Backoff delay accumulated across retries.").
+			Add(e.Seconds)
+	case KindShed:
+		r.Counter("proxygraph_shed_total", "Queued jobs evicted without running, by reason.",
+			"reason", e.Label).Inc()
+	case KindBreaker:
+		r.Counter("proxygraph_breaker_transitions_total", "Circuit-breaker state transitions.",
+			"transition", e.Label).Inc()
 	}
 }

@@ -14,6 +14,8 @@
 // simulator can import it without cycles.
 package trace
 
+import "sync"
+
 // Kind discriminates event types.
 type Kind uint8
 
@@ -54,6 +56,27 @@ const (
 	// makespan charged to the session clock (zero for hits, and for sessions
 	// that do not charge ingress).
 	KindIngress
+	// KindAdmit is the job service's admission verdict for one submission:
+	// Step is the job id, Label one of "admit", "reject-overload",
+	// "reject-breaker" or "reject-budget".
+	KindAdmit
+	// KindQueue reports a job leaving the service queue for a worker: Step is
+	// the job id, Label the tenant, Seconds the time it waited since its last
+	// enqueue (wall seconds in the live service, simulated seconds in a
+	// replay).
+	KindQueue
+	// KindRetry is a failed attempt being rescheduled: Step is the job id,
+	// Resume the attempt number that failed (1-based), Label the tenant,
+	// Seconds the capped jittered backoff before the job becomes runnable.
+	KindRetry
+	// KindShed is a job evicted from the queue without running: Step is the
+	// job id, Label the reason ("priority" for load shedding in favour of a
+	// higher-priority arrival, "deadline" for jobs whose deadline expired
+	// while queued).
+	KindShed
+	// KindBreaker is a circuit-breaker transition for one tenant: Label is
+	// "trip", "half-open" or "close".
+	KindBreaker
 )
 
 var kindNames = [...]string{
@@ -67,6 +90,11 @@ var kindNames = [...]string{
 	KindRecovery:    "recovery",
 	KindRebalance:   "rebalance",
 	KindIngress:     "ingress",
+	KindAdmit:       "admit",
+	KindQueue:       "queue",
+	KindRetry:       "retry",
+	KindShed:        "shed",
+	KindBreaker:     "breaker",
 }
 
 // String names the kind for logs and exporters.
@@ -130,6 +158,31 @@ func (r *Recorder) Event(e Event) { r.Events = append(r.Events, e) }
 
 // Reset discards the recorded events, keeping the backing array.
 func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
+// synchronized serializes Event calls with a mutex.
+type synchronized struct {
+	mu sync.Mutex
+	c  Collector
+}
+
+func (s *synchronized) Event(e Event) {
+	s.mu.Lock()
+	s.c.Event(e)
+	s.mu.Unlock()
+}
+
+// Synchronized wraps a collector so it may be shared by concurrent emitters —
+// the Collector contract only requires tolerance of a single goroutine per
+// run, which the multi-worker job service violates. A nil collector stays
+// nil, so wrapping preserves "tracing disabled". Event order across emitters
+// is arrival order under the lock and therefore not deterministic; consumers
+// needing a reproducible stream must run single-threaded (service.Replay).
+func Synchronized(c Collector) Collector {
+	if c == nil {
+		return nil
+	}
+	return &synchronized{c: c}
+}
 
 // multi fans events out to several collectors.
 type multi []Collector

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sync"
@@ -25,13 +26,29 @@ import (
 // Sharing is sound because a Placement is immutable once finalized — every
 // engine entry point treats it as read-only (the lazily compiled GatherBoth
 // blocks are behind a sync.Once).
+//
+// A cache shared by a long-running multi-tenant service cannot grow without
+// bound, so the cache optionally enforces an entry-count and an
+// approximate-byte limit with LRU eviction: whenever a build completes, the
+// least-recently-used finished entries are dropped until both limits hold
+// again. In-flight builds are never evicted (their waiters hold the entry),
+// so a burst of more concurrent distinct keys than MaxEntries can transiently
+// exceed the entry limit until those builds finish; completed state never
+// does. Evicting never invalidates placements already handed out — callers
+// keep their references, the cache just forgets.
 type PlacementCache struct {
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
+	// lru orders completed entries, most recently used at the front. Values
+	// are *cacheEntry; in-flight entries are not in the list.
+	lru        *list.List
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
 
-	hits, misses uint64
-	ingressWall  time.Duration
-	graphFP      sync.Map // *graph.Graph -> uint64; graphs are immutable
+	hits, misses, evictions uint64
+	ingressWall             time.Duration
+	graphFP                 sync.Map // *graph.Graph -> uint64; graphs are immutable
 }
 
 // cacheKey is the content fingerprint of one ingress invocation.
@@ -46,14 +63,28 @@ type cacheKey struct {
 // cacheEntry is a single-flight slot: done closes when the placement (or the
 // ingress error) is available.
 type cacheEntry struct {
-	done chan struct{}
-	pl   *engine.Placement
-	err  error
+	key   cacheKey
+	done  chan struct{}
+	pl    *engine.Placement
+	err   error
+	bytes int64
+	elem  *list.Element // nil while the build is in flight or after eviction
 }
 
-// NewPlacementCache returns an empty cache.
+// NewPlacementCache returns an empty, unbounded cache.
 func NewPlacementCache() *PlacementCache {
-	return &PlacementCache{entries: make(map[cacheKey]*cacheEntry)}
+	return &PlacementCache{entries: make(map[cacheKey]*cacheEntry), lru: list.New()}
+}
+
+// NewBoundedPlacementCache returns a cache evicting least-recently-used
+// placements beyond maxEntries entries or approximately maxBytes of placement
+// footprint. A zero (or negative) limit means unbounded in that dimension, so
+// NewBoundedPlacementCache(0, 0) behaves exactly like NewPlacementCache.
+func NewBoundedPlacementCache(maxEntries int, maxBytes int64) *PlacementCache {
+	c := NewPlacementCache()
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	return c
 }
 
 // CacheStats is a snapshot of the cache's counters.
@@ -63,6 +94,13 @@ type CacheStats struct {
 	Hits uint64
 	// Misses counts ingress runs the cache performed.
 	Misses uint64
+	// Evictions counts completed entries dropped to satisfy the entry or
+	// byte bound.
+	Evictions uint64
+	// Entries is the current entry count (including in-flight builds) and
+	// Bytes the approximate footprint of the completed ones.
+	Entries int
+	Bytes   int64
 	// IngressWallSeconds is the host wall-clock time spent inside
 	// partition.Apply on misses — the time hits avoid.
 	IngressWallSeconds float64
@@ -75,6 +113,9 @@ func (c *PlacementCache) Stats() CacheStats {
 	return CacheStats{
 		Hits:               c.hits,
 		Misses:             c.misses,
+		Evictions:          c.evictions,
+		Entries:            len(c.entries),
+		Bytes:              c.bytes,
 		IngressWallSeconds: c.ingressWall.Seconds(),
 	}
 }
@@ -94,11 +135,14 @@ func (c *PlacementCache) Place(part partition.Partitioner, g *graph.Graph, share
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
 		c.mu.Unlock()
 		<-e.done
 		return e.pl, true, e.err
 	}
-	e := &cacheEntry{done: make(chan struct{})}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
 	c.mu.Unlock()
@@ -114,9 +158,67 @@ func (c *PlacementCache) Place(part partition.Partitioner, g *graph.Graph, share
 		// Do not cache failures: a later retry (e.g. after the caller fixes
 		// its share vector) must re-run ingress.
 		delete(c.entries, key)
+	} else if _, still := c.entries[key]; still {
+		// The build finished and nothing raced it out of the map: promote it
+		// into the LRU order and enforce the bounds.
+		e.bytes = placementBytes(e.pl)
+		c.bytes += e.bytes
+		e.elem = c.lru.PushFront(e)
+		c.evictOverLimitLocked(e)
 	}
 	c.mu.Unlock()
 	return e.pl, false, e.err
+}
+
+// evictOverLimitLocked drops least-recently-used completed entries until both
+// bounds hold. keep is the entry that just completed: it is evicted last, so
+// a placement larger than the whole byte budget passes through the cache
+// without ever being retained — the caller still gets it, the cache just
+// refuses to keep it.
+func (c *PlacementCache) evictOverLimitLocked(keep *cacheEntry) {
+	over := func() bool {
+		return (c.maxEntries > 0 && c.lru.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)
+	}
+	for over() && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*cacheEntry)
+		if e == keep {
+			// keep is the only other candidate; fall through to the final
+			// check below.
+			break
+		}
+		c.removeLocked(e)
+	}
+	if over() {
+		c.removeLocked(keep)
+	}
+}
+
+// removeLocked evicts one completed entry.
+func (c *PlacementCache) removeLocked(e *cacheEntry) {
+	c.lru.Remove(e.elem)
+	e.elem = nil
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+	c.evictions++
+}
+
+// placementBytes approximates a finalized placement's resident footprint: the
+// ownership and replica tables plus the compiled per-machine gather blocks,
+// which expand every edge into a (from, into) record grouped two ways (and
+// may double once the both-direction blocks compile lazily — the estimate
+// charges them up front so eviction errs toward staying under the bound).
+func placementBytes(pl *engine.Placement) int64 {
+	edges := int64(len(pl.EdgeOwner))
+	verts := int64(len(pl.Master))
+	// EdgeOwner (4B) + LocalEdges indices (4B) + two grouped copies of
+	// 8B gather records for each of the in- and both-direction layouts.
+	edgeBytes := edges * (4 + 4 + 4*16)
+	// ReplicaMask (8B) + Master (4B) + MasterVerts entries (4B) + grouped
+	// key/offset tables (~16B across the compiled blocks).
+	vertBytes := verts * (8 + 4 + 4 + 16)
+	return edgeBytes + vertBytes
 }
 
 // key fingerprints one ingress invocation.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"proxygraph/internal/core"
+	"proxygraph/internal/engine"
 	"proxygraph/internal/gen"
 	"proxygraph/internal/graph"
 	"proxygraph/internal/partition"
@@ -123,6 +124,139 @@ func TestPlacementCacheSingleFlight(t *testing.T) {
 	}
 	if st.Hits != callers-1 {
 		t.Errorf("hits = %d, want %d", st.Hits, callers-1)
+	}
+}
+
+// TestPlacementCacheBounds pins the LRU policy: the cache never holds more
+// completed entries (or approximate bytes) than configured, evicts in
+// least-recently-used order, and counts every eviction.
+func TestPlacementCacheBounds(t *testing.T) {
+	c := NewBoundedPlacementCache(3, 0)
+	part := partition.NewHybrid()
+	shares := partition.UniformShares(2)
+	graphs := make([]*graph.Graph, 5)
+	for i := range graphs {
+		graphs[i] = cacheGraph(t, uint64(10+i), 200, 1200)
+	}
+	for _, g := range graphs[:3] {
+		if _, _, err := c.Place(part, g, shares, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch graph 0 so graph 1 is now the least recently used.
+	if _, hit, _ := c.Place(part, graphs[0], shares, 1); !hit {
+		t.Fatal("graph 0 should still be cached")
+	}
+	if _, _, err := c.Place(part, graphs[3], shares, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache holds %d entries after eviction, want 3", c.Len())
+	}
+	if _, hit, _ := c.Place(part, graphs[1], shares, 1); hit {
+		t.Error("least-recently-used entry (graph 1) survived eviction")
+	}
+	if _, hit, _ := c.Place(part, graphs[0], shares, 1); !hit {
+		t.Error("recently-touched entry (graph 0) was evicted before the LRU one")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("bounded cache over capacity recorded no evictions")
+	}
+	if st.Entries > 3 {
+		t.Errorf("entry bound violated: %d > 3", st.Entries)
+	}
+
+	// Byte bound: a budget smaller than one placement means nothing is ever
+	// retained — every request misses, the caller still gets a placement, and
+	// the resident byte count stays at zero.
+	tiny := NewBoundedPlacementCache(0, 1)
+	pl, _, err := tiny.Place(part, graphs[0], shares, 1)
+	if err != nil || pl == nil {
+		t.Fatalf("oversized placement must still be built: %v", err)
+	}
+	if _, hit, _ := tiny.Place(part, graphs[0], shares, 1); hit {
+		t.Error("placement larger than the byte budget was retained")
+	}
+	if st := tiny.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Errorf("byte-bounded cache retained %d bytes / %d entries, want 0/0", st.Bytes, st.Entries)
+	}
+}
+
+// TestPlacementCacheContention is the -race stress test: concurrent callers
+// on the same key must collapse to exactly one ingress (single-flight),
+// distinct keys must each run exactly once, and the hit/miss/eviction
+// counters must balance — all while a bounded cache is evicting under load.
+func TestPlacementCacheContention(t *testing.T) {
+	const (
+		sameKeyCallers = 8
+		distinctKeys   = 6
+		maxEntries     = 3
+	)
+	c := NewBoundedPlacementCache(maxEntries, 0)
+	part := partition.NewHybrid()
+	shares := partition.UniformShares(2)
+	shared := cacheGraph(t, 99, 400, 3200)
+	distinct := make([]*graph.Graph, distinctKeys)
+	for i := range distinct {
+		distinct[i] = cacheGraph(t, uint64(100+i), 200, 1200)
+	}
+
+	// Phase 1: every same-key caller races the same build. The phases are
+	// sequential so a later distinct-key build can never evict the shared
+	// entry out from under a same-key caller that has not looked it up yet —
+	// that would turn an expected hit into a second miss and make the exact
+	// counter assertions below scheduling-dependent.
+	var wg sync.WaitGroup
+	sameResults := make([]*engine.Placement, sameKeyCallers)
+	for i := 0; i < sameKeyCallers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pl, _, err := c.Place(part, shared, shares, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sameResults[i] = pl
+		}(i)
+	}
+	wg.Wait()
+	// Phase 2: distinct keys race each other and force evictions.
+	for i := 0; i < distinctKeys; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := c.Place(part, distinct[i], shares, 5); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < sameKeyCallers; i++ {
+		if sameResults[i] != sameResults[0] {
+			t.Fatalf("caller %d got a different placement object: single-flight failed", i)
+		}
+	}
+	st := c.Stats()
+	// Exactly one ingress per distinct key: the shared key plus each distinct
+	// graph. Same-key callers beyond the builder are hits.
+	if st.Misses != distinctKeys+1 {
+		t.Errorf("misses = %d, want %d (one ingress per key)", st.Misses, distinctKeys+1)
+	}
+	if st.Hits != sameKeyCallers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, sameKeyCallers-1)
+	}
+	if st.Entries > maxEntries {
+		t.Errorf("entry bound violated under contention: %d > %d", st.Entries, maxEntries)
+	}
+	wantEvict := uint64(distinctKeys + 1 - maxEntries)
+	if st.Evictions != wantEvict {
+		t.Errorf("evictions = %d, want %d", st.Evictions, wantEvict)
+	}
+	if st.Bytes < 0 {
+		t.Errorf("negative resident byte count %d", st.Bytes)
 	}
 }
 

@@ -82,7 +82,8 @@ type Report struct {
 	// ProfilingSeconds is the one-time offline profiling cost in simulated
 	// seconds (zero for configuration-based estimators).
 	ProfilingSeconds float64
-	// JobSeconds holds each job's execution makespan.
+	// JobSeconds holds each job's execution makespan (zero for jobs that
+	// failed under ContinueOnError).
 	JobSeconds []float64
 	// IngressSeconds holds each job's charged ingress makespan: zero unless
 	// the session sets ChargeIngress, and zero for placement-cache hits.
@@ -95,6 +96,22 @@ type Report struct {
 	// CacheHits and CacheMisses count this run's placement-cache outcomes
 	// (both zero when the session has no cache).
 	CacheHits, CacheMisses int
+	// JobErrors records each job's failure, index-aligned with JobSeconds
+	// (nil entries are successes). It is only populated when the session
+	// runs with ContinueOnError; otherwise the first error aborts the run
+	// and JobErrors stays nil.
+	JobErrors []error
+}
+
+// FailedJobs counts the non-nil entries of JobErrors.
+func (r *Report) FailedJobs() int {
+	n := 0
+	for _, err := range r.JobErrors {
+		if err != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Total returns profiling plus all job time.
@@ -128,6 +145,11 @@ type Session struct {
 	// the cumulative-makespan effect the session-throughput experiment
 	// measures. JobSeconds stays execution-only either way.
 	ChargeIngress bool
+	// ContinueOnError keeps the session going past a failing job: the error
+	// is recorded in Report.JobErrors at the job's index (with zeroed time
+	// columns) instead of aborting the whole run. Session-level failures —
+	// a missing cluster, an unbuildable CCR pool — still abort.
+	ContinueOnError bool
 }
 
 // Run executes the jobs. For the proxy profiler, the one-time profiling cost
@@ -137,10 +159,6 @@ type Session struct {
 func (s *Session) Run(jobs []Job, est core.Estimator) (*Report, error) {
 	if s.Cluster == nil {
 		return nil, fmt.Errorf("workload: session has no cluster")
-	}
-	part := s.Partitioner
-	if part == nil {
-		part = partition.NewHybrid()
 	}
 
 	rep := &Report{System: est.Name()}
@@ -159,51 +177,102 @@ func (s *Session) Run(jobs []Job, est core.Estimator) (*Report, error) {
 
 	cumulative := rep.ProfilingSeconds
 	for _, job := range jobs {
-		ccr, ok := pool.Get(job.App.Name())
-		if !ok {
-			return nil, fmt.Errorf("workload: no CCR for %q", job.App.Name())
-		}
-		shares, err := ccr.SharesFor(s.Cluster)
+		jr, err := s.RunJob(pool, job, engine.Options{})
 		if err != nil {
-			return nil, err
-		}
-		pl, hit, err := s.place(part, job, shares)
-		if err != nil {
-			return nil, err
-		}
-		ingress := 0.0
-		if s.ChargeIngress && !hit {
-			ir, err := engine.Ingress(pl, s.Cluster)
-			if err != nil {
+			if !s.ContinueOnError {
 				return nil, err
 			}
-			ingress = ir.Makespan
+			// Per-job failure containment: the job contributes zeroed time
+			// columns and its error, the session clock does not advance.
+			rep.JobSeconds = append(rep.JobSeconds, 0)
+			rep.IngressSeconds = append(rep.IngressSeconds, 0)
+			rep.CumulativeSeconds = append(rep.CumulativeSeconds, cumulative)
+			if rep.JobErrors == nil {
+				rep.JobErrors = make([]error, len(rep.JobSeconds)-1, len(jobs))
+			}
+			rep.JobErrors = append(rep.JobErrors, err)
+			continue
 		}
 		if s.Cache != nil {
-			if hit {
+			if jr.CacheHit {
 				rep.CacheHits++
 			} else {
 				rep.CacheMisses++
 			}
 		}
-		if s.Trace != nil {
-			label := "miss"
-			if hit {
-				label = "hit"
-			}
-			s.Trace.Event(trace.Event{Kind: trace.KindIngress, Machine: -1, Label: label, Seconds: ingress})
+		rep.JobSeconds = append(rep.JobSeconds, jr.Exec.SimSeconds)
+		rep.IngressSeconds = append(rep.IngressSeconds, jr.IngressSeconds)
+		cumulative += jr.IngressSeconds + jr.Exec.SimSeconds
+		rep.CumulativeSeconds = append(rep.CumulativeSeconds, cumulative)
+		rep.TotalEnergyJoules += jr.Exec.EnergyJoules
+		if rep.JobErrors != nil {
+			rep.JobErrors = append(rep.JobErrors, nil)
 		}
-		res, err := s.runJob(job.App, pl)
+	}
+	if s.ContinueOnError && rep.JobErrors == nil {
+		rep.JobErrors = make([]error, len(rep.JobSeconds))
+	}
+	return rep, nil
+}
+
+// JobResult is the outcome of one job executed through RunJob.
+type JobResult struct {
+	// Exec is the engine result (makespan, energy, application output).
+	Exec *engine.Result
+	// IngressSeconds is the simulated ingress makespan charged to the job:
+	// zero unless the session sets ChargeIngress, and zero on cache hits.
+	IngressSeconds float64
+	// CacheHit reports whether the placement came from the session's cache.
+	CacheHit bool
+}
+
+// RunJob executes a single job against a prepared CCR pool: derive the
+// application's shares, build (or fetch) the placement, charge ingress if the
+// session does, and run. opts is merged with the session's collector — an
+// explicit opts.Trace wins, otherwise the session's is used — so callers like
+// the job service can attach per-job fault schedules while keeping session
+// tracing. RunJob is safe for concurrent use when the session's fields are
+// not mutated: the cache single-flights and everything else is read-only.
+func (s *Session) RunJob(pool *core.Pool, job Job, opts engine.Options) (*JobResult, error) {
+	part := s.Partitioner
+	if part == nil {
+		part = partition.NewHybrid()
+	}
+	ccr, ok := pool.Get(job.App.Name())
+	if !ok {
+		return nil, fmt.Errorf("workload: no CCR for %q", job.App.Name())
+	}
+	shares, err := ccr.SharesFor(s.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	pl, hit, err := s.place(part, job, shares)
+	if err != nil {
+		return nil, err
+	}
+	ingress := 0.0
+	if s.ChargeIngress && !hit {
+		ir, err := engine.Ingress(pl, s.Cluster)
 		if err != nil {
 			return nil, err
 		}
-		rep.JobSeconds = append(rep.JobSeconds, res.SimSeconds)
-		rep.IngressSeconds = append(rep.IngressSeconds, ingress)
-		cumulative += ingress + res.SimSeconds
-		rep.CumulativeSeconds = append(rep.CumulativeSeconds, cumulative)
-		rep.TotalEnergyJoules += res.EnergyJoules
+		ingress = ir.Makespan
 	}
-	return rep, nil
+	if opts.Trace == nil {
+		opts.Trace = s.Trace
+	}
+	if opts.Trace != nil {
+		label := "miss"
+		if hit {
+			label = "hit"
+		}
+		opts.Trace.Event(trace.Event{Kind: trace.KindIngress, Machine: -1, Label: label, Seconds: ingress})
+	}
+	res, err := s.runJob(job.App, pl, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{Exec: res, IngressSeconds: ingress, CacheHit: hit}, nil
 }
 
 // place builds (or fetches) the job's finalized placement. Without a cache
@@ -217,12 +286,14 @@ func (s *Session) place(part partition.Partitioner, job Job, shares []float64) (
 	return s.Cache.Place(part, job.Graph, shares, job.Seed)
 }
 
-// runJob executes one job, routing through the OptsRunner path when the
-// session carries an event collector.
-func (s *Session) runJob(app apps.App, pl *engine.Placement) (*engine.Result, error) {
-	if s.Trace != nil {
+// runJob executes one job, routing through the OptsRunner path when any
+// engine option (collector, fault schedule, rebalancer) is set. Apps without
+// the full-options entry point (the async Coloring, Triangle Count) run plain
+// with identical results — they have no supersteps for options to act on.
+func (s *Session) runJob(app apps.App, pl *engine.Placement, opts engine.Options) (*engine.Result, error) {
+	if opts.Trace != nil || opts.Fault != nil || opts.Rebalancer != nil {
 		if fr, ok := app.(apps.OptsRunner); ok {
-			return fr.RunOpts(pl, s.Cluster, engine.Options{Trace: s.Trace})
+			return fr.RunOpts(pl, s.Cluster, opts)
 		}
 	}
 	return app.Run(pl, s.Cluster)
@@ -257,10 +328,18 @@ func profilingCost(cl *cluster.Cluster, pp *core.ProxyProfiler) (float64, error)
 }
 
 // Crossover returns the 1-based job index at which a's cumulative time
-// (including profiling) drops below b's, or 0 if it never does.
+// (including profiling) drops below b's, or 0 if it never does. Reports of
+// unequal length are compared over their common prefix only: jobs beyond the
+// shorter report have no counterpart to beat, so a crossover that would first
+// occur there reports 0 rather than comparing against missing data. In
+// particular, when b is shorter than a, a's tail is ignored entirely.
 func Crossover(a, b *Report) int {
-	for i := range a.CumulativeSeconds {
-		if i < len(b.CumulativeSeconds) && a.CumulativeSeconds[i] < b.CumulativeSeconds[i] {
+	n := len(a.CumulativeSeconds)
+	if len(b.CumulativeSeconds) < n {
+		n = len(b.CumulativeSeconds)
+	}
+	for i := 0; i < n; i++ {
+		if a.CumulativeSeconds[i] < b.CumulativeSeconds[i] {
 			return i + 1
 		}
 	}

@@ -3,6 +3,7 @@ package workload
 import (
 	"testing"
 
+	"proxygraph/internal/apps"
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/core"
 	"proxygraph/internal/partition"
@@ -140,6 +141,96 @@ func TestCrossoverSemantics(t *testing.T) {
 	never := &Report{CumulativeSeconds: []float64{9, 10, 11}}
 	if got := Crossover(never, b); got != 0 {
 		t.Errorf("crossover = %d, want 0", got)
+	}
+}
+
+// TestCrossoverUnequalLengths pins the common-prefix semantics: only indices
+// present in both reports are compared, so a crossover that would first occur
+// past the shorter report's end does not count.
+func TestCrossoverUnequalLengths(t *testing.T) {
+	// b shorter than a: a beats b only at index 2, which b does not reach.
+	a := &Report{CumulativeSeconds: []float64{5, 6, 3}}
+	b := &Report{CumulativeSeconds: []float64{2, 4}}
+	if got := Crossover(a, b); got != 0 {
+		t.Errorf("crossover past b's end = %d, want 0", got)
+	}
+	// b shorter, but the crossover lies inside the common prefix.
+	early := &Report{CumulativeSeconds: []float64{5, 3, 1}}
+	if got := Crossover(early, b); got != 2 {
+		t.Errorf("crossover = %d, want 2", got)
+	}
+	// a shorter than b: b's tail is ignored symmetrically.
+	short := &Report{CumulativeSeconds: []float64{3}}
+	long := &Report{CumulativeSeconds: []float64{4, 0, 0}}
+	if got := Crossover(short, long); got != 1 {
+		t.Errorf("crossover = %d, want 1", got)
+	}
+	// Empty reports never cross.
+	if got := Crossover(&Report{}, b); got != 0 {
+		t.Errorf("empty report crossed at %d", got)
+	}
+}
+
+// TestSessionContinueOnError pins per-job failure containment: a failing job
+// aborts a default session, while a ContinueOnError session records the error
+// in JobErrors, zeroes the job's time columns, and keeps going with accounting
+// identical to a session that never saw the bad job.
+func TestSessionContinueOnError(t *testing.T) {
+	cl := caseTwo(t)
+	jobs, err := RandomJobs(4, 512, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS is outside apps.All(), so the session's CCR pool has no entry for
+	// it: the job fails at dispatch with a per-job error.
+	bad := jobs[1]
+	bad.App = apps.NewBFS()
+	withBad := append(append([]Job{}, jobs[:2]...), bad)
+	withBad = append(withBad, jobs[2:]...)
+
+	s := &Session{Cluster: cl}
+	if _, err := s.Run(withBad, core.NewThreadCount()); err == nil {
+		t.Fatal("fail-stop session should abort on the bad job")
+	}
+
+	tolerant := &Session{Cluster: cl, ContinueOnError: true}
+	rep, err := tolerant.Run(withBad, core.NewThreadCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.JobSeconds) != len(withBad) || len(rep.JobErrors) != len(withBad) {
+		t.Fatalf("report covers %d/%d jobs, want %d", len(rep.JobSeconds), len(rep.JobErrors), len(withBad))
+	}
+	if rep.FailedJobs() != 1 || rep.JobErrors[2] == nil {
+		t.Fatalf("JobErrors = %v, want exactly index 2 failed", rep.JobErrors)
+	}
+	if rep.JobSeconds[2] != 0 || rep.IngressSeconds[2] != 0 {
+		t.Error("failed job charged time")
+	}
+	if rep.CumulativeSeconds[2] != rep.CumulativeSeconds[1] {
+		t.Error("failed job advanced the session clock")
+	}
+	// The surviving jobs' accounting matches a clean session of just them.
+	clean, err := (&Session{Cluster: cl}).Run(jobs, core.NewThreadCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]float64{}, rep.JobSeconds[:2]...), rep.JobSeconds[3:]...)
+	for i := range clean.JobSeconds {
+		if clean.JobSeconds[i] != got[i] {
+			t.Fatalf("surviving job %d: %.9f != clean %.9f", i, got[i], clean.JobSeconds[i])
+		}
+	}
+	if clean.TotalEnergyJoules != rep.TotalEnergyJoules {
+		t.Error("failed job contributed energy")
+	}
+	// A clean ContinueOnError run reports a full slice of nil errors.
+	tolerantClean, err := tolerant.Run(jobs, core.NewThreadCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tolerantClean.JobErrors) != len(jobs) || tolerantClean.FailedJobs() != 0 {
+		t.Fatalf("clean tolerant run JobErrors = %v", tolerantClean.JobErrors)
 	}
 }
 
