@@ -1,6 +1,6 @@
 # Developer entry points. The repo needs only the Go toolchain.
 
-.PHONY: build test check bench bench-ingress fuzz-smoke golden-update
+.PHONY: build test check bench bench-ingress bench-scaling bench-smoke fuzz-smoke golden-update
 
 build:
 	go build ./...
@@ -20,7 +20,9 @@ test:
 check:
 	go vet ./...
 	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace ./internal/workload ./internal/service
+	go test -race -cpu 1,2,4 -run TestParallelEngineWorkerCountInvariance ./internal/apps
 	go test -run 'TestIngressDifferential|TestCompileBlocksParallelMatchesSequential' ./internal/partition ./internal/engine
+	go test -run 'TestIngressAllocs|TestHybridShardedBytesRegression' ./internal/partition
 	go test -run 'TestGoldenTables/overload' ./internal/exp
 	$(MAKE) fuzz-smoke
 
@@ -47,3 +49,17 @@ bench:
 # reference vs the sharded picker pipeline) tracked in BENCH_INGRESS.json.
 bench-ingress:
 	go test -run '^$$' -bench 'BenchmarkIngress' -benchmem ./internal/partition
+
+# bench-scaling runs the full GOMAXPROCS × shard matrix (engine + ingress
+# suites at -cpu 1,2,4,8) and appends host- and date-stamped entries with
+# edges/s and speedup-vs-1-core to BENCH_ENGINE.json / BENCH_INGRESS.json.
+# Pass NOTE="..." to label the entries.
+NOTE ?=
+bench-scaling:
+	go run ./cmd/benchmat -cpus 1,2,4,8 -note '$(NOTE)'
+
+# bench-smoke is the CI guard: one iteration of every matrix benchmark at
+# GOMAXPROCS 1 and 4, parsed but not recorded — it fails if any benchmark
+# breaks or stops reporting edges/s, without burning CI minutes on timing.
+bench-smoke:
+	go run ./cmd/benchmat -cpus 1,4 -benchtime 1x -check

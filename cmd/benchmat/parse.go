@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// measurement is one parsed `go test -bench` result line.
+type measurement struct {
+	Name        string // benchmark name without the -procs suffix
+	Procs       int    // GOMAXPROCS the line ran at (1 when unsuffixed)
+	NsPerOp     float64
+	EdgesPerS   float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// parseBenchOutput extracts benchmark lines from go test output. Lines look
+// like
+//
+//	BenchmarkEngineGatherPageRank-4  100  11025480 ns/op  58067754 edges/s  554408 B/op  25 allocs/op
+//
+// with the -4 GOMAXPROCS suffix absent when procs == 1 (the testing package
+// only appends it for procs != 1), and value/unit pairs in any order after
+// the iteration count.
+func parseBenchOutput(out string) ([]measurement, error) {
+	var ms []measurement
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue // "Benchmark... \t iterations" fragments or headers
+		}
+		name, procs := splitProcs(fields[0])
+		m := measurement{Name: name, Procs: procs}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. a benchmark that printed)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "edges/s":
+				m.EdgesPerS = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}
+
+// splitProcs strips the trailing -N GOMAXPROCS suffix from a benchmark name.
+// Only an all-digit tail counts: a name with no suffix ran at procs == 1.
+func splitProcs(name string) (string, int) {
+	idx := strings.LastIndex(name, "-")
+	if idx < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[idx+1:])
+	if err != nil || n < 1 {
+		return name, 1
+	}
+	return name[:idx], n
+}
+
+// cell is one (benchmark, GOMAXPROCS) point of the scaling matrix.
+type cell struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	EdgesPerS   float64 `json:"edges_per_s"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// SpeedupVs1 is this point's edges/s over the same benchmark's 1-core
+	// edges/s; 0 when no 1-core measurement exists.
+	SpeedupVs1 float64 `json:"speedup_vs_1cpu,omitempty"`
+}
+
+// entry is one appended element of BENCH_ENGINE.json / BENCH_INGRESS.json.
+// Earlier hand-written entries use a flat "benchmarks" object; matrix entries
+// use "matrix" keyed benchmark → GOMAXPROCS → cell.
+type entry struct {
+	Date   string                     `json:"date"`
+	Note   string                     `json:"note"`
+	Host   string                     `json:"host"`
+	CPUs   []int                      `json:"cpus"`
+	Matrix map[string]map[string]cell `json:"matrix"`
+}
+
+// buildMatrix folds measurements into the per-benchmark GOMAXPROCS table and
+// derives each point's speedup against the same benchmark's 1-core run.
+func buildMatrix(ms []measurement) map[string]map[string]cell {
+	matrix := make(map[string]map[string]cell)
+	base := make(map[string]float64)
+	for _, m := range ms {
+		if m.Procs == 1 {
+			base[m.Name] = m.EdgesPerS
+		}
+	}
+	for _, m := range ms {
+		row := matrix[m.Name]
+		if row == nil {
+			row = make(map[string]cell)
+			matrix[m.Name] = row
+		}
+		c := cell{
+			NsPerOp:     m.NsPerOp,
+			EdgesPerS:   m.EdgesPerS,
+			BytesPerOp:  m.BytesPerOp,
+			AllocsPerOp: m.AllocsPerOp,
+		}
+		if b := base[m.Name]; b > 0 {
+			c.SpeedupVs1 = m.EdgesPerS / b
+		}
+		row[strconv.Itoa(m.Procs)] = c
+	}
+	return matrix
+}
+
+// appendEntry appends e to the JSON array in path, creating the file when
+// absent. The existing entries are kept verbatim (they are raw messages, so
+// hand-written flat entries survive untouched).
+func appendEntry(path string, e entry) error {
+	var entries []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.MarshalIndent(e, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	entries = append(entries, raw)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

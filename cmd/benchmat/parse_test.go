@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sample mimics go test -bench output across -cpu 1,4: unsuffixed names at
+// one proc, -4 suffixes at four, sub-benchmark slashes, custom edges/s
+// metrics, and surrounding noise lines.
+const sample = `goos: linux
+goarch: amd64
+pkg: proxygraph/internal/engine
+BenchmarkEngineGatherPageRank   	     100	  11025480 ns/op	  58067754 edges/s	  554408 B/op	      25 allocs/op
+BenchmarkEngineGatherPageRank-4 	     120	   5500000 ns/op	 116000000 edges/s	  560000 B/op	      30 allocs/op
+BenchmarkIngressRandom/shards8  	      79	  14790316 ns/op	 108195723 edges/s	 6408368 B/op	       5 allocs/op
+BenchmarkIngressRandom/shards8-4	      80	   7000000 ns/op	 216000000 edges/s	 6410000 B/op	      12 allocs/op
+PASS
+ok  	proxygraph/internal/engine	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	ms, err := parseBenchOutput(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("parsed %d measurements, want 4: %+v", len(ms), ms)
+	}
+	want := []measurement{
+		{"BenchmarkEngineGatherPageRank", 1, 11025480, 58067754, 554408, 25},
+		{"BenchmarkEngineGatherPageRank", 4, 5500000, 116000000, 560000, 30},
+		{"BenchmarkIngressRandom/shards8", 1, 14790316, 108195723, 6408368, 5},
+		{"BenchmarkIngressRandom/shards8", 4, 7000000, 216000000, 6410000, 12},
+	}
+	for i, w := range want {
+		if ms[i] != w {
+			t.Errorf("measurement %d = %+v, want %+v", i, ms[i], w)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkX", "BenchmarkX", 1},
+		{"BenchmarkX-8", "BenchmarkX", 8},
+		{"BenchmarkX/sub-case", "BenchmarkX/sub-case", 1}, // non-numeric tail
+		{"BenchmarkX/sub-case-16", "BenchmarkX/sub-case", 16},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}
+
+func TestBuildMatrixSpeedups(t *testing.T) {
+	ms, err := parseBenchOutput(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix := buildMatrix(ms)
+	pr := matrix["BenchmarkEngineGatherPageRank"]
+	if pr == nil {
+		t.Fatal("pagerank row missing")
+	}
+	if got := pr["1"].SpeedupVs1; got != 1 {
+		t.Errorf("1-core speedup = %v, want 1", got)
+	}
+	if got, want := pr["4"].SpeedupVs1, 116000000.0/58067754.0; got != want {
+		t.Errorf("4-core speedup = %v, want %v", got, want)
+	}
+}
+
+func TestBuildMatrixWithout1Core(t *testing.T) {
+	matrix := buildMatrix([]measurement{{Name: "B", Procs: 4, EdgesPerS: 10}})
+	if got := matrix["B"]["4"].SpeedupVs1; got != 0 {
+		t.Errorf("speedup without a 1-core base = %v, want 0", got)
+	}
+}
+
+func TestAppendEntryPreservesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	// Seed with a hand-written flat-format entry.
+	seed := `[
+  { "date": "2026-08-05", "note": "seed", "host": "x", "benchmarks": { "B": { "ns_per_op": 1 } } }
+]
+`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := entry{
+		Date: "2026-08-08", Note: "matrix", Host: "y", CPUs: []int{1, 4},
+		Matrix: map[string]map[string]cell{"B": {"1": {NsPerOp: 2, EdgesPerS: 5, SpeedupVs1: 1}}},
+	}
+	if err := appendEntry(path, e); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("appended file is not a JSON array: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if entries[0]["note"] != "seed" || entries[1]["note"] != "matrix" {
+		t.Fatalf("entries out of order or mangled: %v", entries)
+	}
+	if _, ok := entries[1]["matrix"].(map[string]any); !ok {
+		t.Fatalf("matrix entry missing matrix object: %v", entries[1])
+	}
+}
+
+func TestParseCPUs(t *testing.T) {
+	got, err := parseCPUs("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseCPUs = %v", got)
+	}
+	if _, err := parseCPUs("1,x"); err == nil {
+		t.Error("bad cpu list accepted")
+	}
+}

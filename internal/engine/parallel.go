@@ -5,7 +5,6 @@ import (
 	"math/bits"
 	"runtime"
 	"sort"
-	"sync"
 
 	"proxygraph/internal/cluster"
 	"proxygraph/internal/graph"
@@ -23,19 +22,40 @@ var ParallelShards int
 // span is a half-open range of group indices into one machine's byDst block.
 type span struct{ lo, hi int32 }
 
+// applyChunksPerWorker oversubdivides the dense apply sweep: each worker's
+// vertex range is split into this many steal-able chunks, so a worker whose
+// range happens to hold the expensive masters (frontier clusters, hub-heavy
+// stretches) sheds work to idle peers instead of serializing the barrier.
+const applyChunksPerWorker = 4
+
+// serialSparseCutoff is the frontier size below which a sparse superstep runs
+// every worker's loop inline on the caller's goroutine. Near-empty frontiers
+// (SSSP tails, cascade endgames) carry so little work that spawning 2W
+// goroutines per superstep costs more than the sweep itself; the inline path
+// executes the identical per-worker loops in worker order, so results and
+// accounting are unchanged.
+const serialSparseCutoff = 256
+
+// parallelMergeCutoff is the next-frontier size above which the worklist
+// concatenation copies per-worker segments in parallel.
+const parallelMergeCutoff = 4096
+
 // RunSyncParallel executes a vertex program exactly like RunSync but splits
-// each superstep's gather and apply sweeps across destination-sharded
-// workers: every worker owns a disjoint vertex range of the global acc/has
-// arrays (and of the value array during apply), so gather accumulation is
-// merge-free and the engine's memory stays O(|V|) — no per-machine private
-// accumulator copies. Because each machine's destination-grouped edge block
-// is sorted by destination, a worker's share of every machine is a contiguous
-// group range, found once per run by binary search.
+// each superstep's phases across destination-sharded workers: every worker
+// owns a disjoint vertex range of the global acc/has arrays during gather, so
+// accumulation is merge-free and the engine's memory stays O(|V|) — no
+// per-machine private accumulator copies. Because each machine's
+// destination-grouped edge block is sorted by destination, a worker's share
+// of every machine is a contiguous group range, found once per run by binary
+// search. The apply/scatter sweep, the value-array init, the accumulator
+// reset and the frontier merge run in parallel too (see RunSyncParallelOpts),
+// so every O(|V|) or O(records) phase of a superstep scales with the worker
+// count.
 //
 // All simulation accounting (times, energy, communication) is bit-identical
 // to RunSync and RunSyncReference: each per-machine counter is either a sum
-// of exactly-representable integer counts over disjoint worker shards or a
-// max over them, so worker scheduling cannot perturb it. Vertex values are
+// of exactly-representable integer counts over disjoint vertex sets or a max
+// over them, so worker scheduling cannot perturb it. Vertex values are
 // bit-identical to RunSync whenever Sum is exactly associative (min, max,
 // integer sums) and also for float programs on dense supersteps, since each
 // destination's contributions are still summed machine-major in local record
@@ -53,6 +73,17 @@ func RunSyncParallel[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cl
 // blocks and re-derive each worker's group spans against them; the vertex
 // shard bounds stay fixed, which affects host-side balance only, never
 // results or accounting.
+//
+// Phase parallelism per superstep:
+//
+//   - gather: one task per destination shard (static vertex ranges, so the
+//     shared acc/has arrays see disjoint writes), dispatched through the
+//     work-stealing loop shared with the placement compile;
+//   - apply+scatter: the dense sweep steals applyChunksPerWorker×W vertex
+//     chunks, so frontier clustering cannot serialize the barrier; counters
+//     are keyed by the claiming worker and merged as exact integer sums, so
+//     chunk scheduling never shows up in the accounting;
+//   - reset and frontier merge: sharded over the same vertex ranges.
 func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluster, opts Options) (*Result, []V, error) {
 	rb := opts.Rebalancer
 	if cl.Size() != pl.M {
@@ -61,22 +92,6 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 	g := pl.G
 	n := g.NumVertices
 	rt := &Runtime{NumVertices: n, NumEdges: len(g.Edges)}
-
-	outDeg := g.OutDegrees()
-	inDeg := g.InDegrees()
-	vals := make([]V, n)
-	for v := range vals {
-		vals[v] = prog.Init(graph.VertexID(v), outDeg[v], inDeg[v])
-	}
-
-	acc := make([]A, n)
-	has := make([]bool, n)
-
-	applyAll := prog.ApplyAll()
-	both := prog.Direction() == GatherBoth
-	blocks := pl.blocks(both)
-	account := NewAccountant(cl, prog.Coeffs())
-	account.SetCollector(opts.Trace)
 
 	// Destination sharding: vertex ranges balanced by gather-record count,
 	// plus each worker's contiguous group range within every machine's block.
@@ -90,8 +105,40 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 	if W < 1 {
 		W = 1
 	}
-	bounds := shardBounds(blocks, n, W)
+
+	outDeg := g.OutDegreesParallel(W)
+	inDeg := g.InDegreesParallel(W)
+	vals := make([]V, n)
+	stealTasks(W, W, func(_, t int) {
+		for v := n * t / W; v < n*(t+1)/W; v++ {
+			vals[v] = prog.Init(graph.VertexID(v), outDeg[v], inDeg[v])
+		}
+	})
+
+	acc := make([]A, n)
+	has := make([]bool, n)
+
+	applyAll := prog.ApplyAll()
+	both := prog.Direction() == GatherBoth
+	blocks := pl.blocks(both)
+	account := NewAccountant(cl, prog.Coeffs())
+	account.SetCollector(opts.Trace)
+
+	prefix, total := gatherPrefix(blocks, n)
+	bounds := cutBounds(prefix, total, n, W)
 	spans := shardSpans(blocks, bounds, pl.M, W)
+
+	// Finer-grained cut points for the stealable dense apply sweep. Like
+	// bounds, they are fixed for the run: rebalancing shifts masters between
+	// machines but the chunk ranges only steer host-side balance.
+	applyChunks := W * applyChunksPerWorker
+	if applyChunks > n && n > 0 {
+		applyChunks = n
+	}
+	if applyChunks < 1 {
+		applyChunks = 1
+	}
+	applyBounds := cutBounds(prefix, total, n, applyChunks)
 
 	front := newFrontier(n)
 	front.fill()
@@ -105,7 +152,7 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 
 	// Per-run scratch, reused across supersteps. workC holds per-(worker,
 	// machine) counter shards merged after each step; dirty[w] lists the
-	// destinations worker w gathered into during a sparse step; nextAdds[w]
+	// destinations shard w gathered into during a sparse step; nextAdds[w]
 	// collects the vertices worker w activates.
 	counters := make([]StepCounters, pl.M)
 	workC := make([]StepCounters, W*pl.M)
@@ -113,13 +160,14 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 	nextCounts := make([]int, W)
 	dirty := make([][]graph.VertexID, W)
 	nextAdds := make([][]graph.VertexID, W)
+	mergeOffs := make([]int, W+1)
 	var (
 		touched  []int64
 		contribs []int32
 	)
 	if !applyAll {
-		// Shared across workers: each destination belongs to exactly one
-		// worker's range, so the stamp arrays see disjoint writes.
+		// Shared across gather shards: each destination belongs to exactly
+		// one shard's range, so the stamp arrays see disjoint writes.
 		touched = make([]int64, n)
 		contribs = make([]int32, n)
 	}
@@ -142,130 +190,135 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 			act = front.bits
 		}
 
-		// Gather phase: worker w accumulates every machine's contributions
+		// Near-empty frontiers run all phases inline: same loops, same worker
+		// indices, zero goroutines.
+		phaseWorkers := W
+		if sparse && len(srcs) < serialSparseCutoff {
+			phaseWorkers = 1
+		}
+
+		// Gather phase: shard t accumulates every machine's contributions
 		// into its own destination range — machine-major, so per-destination
-		// Sum order matches the sequential engine — with no merge step.
-		var wg sync.WaitGroup
-		wg.Add(W)
-		for w := 0; w < W; w++ {
-			go func(w int) {
-				defer wg.Done()
-				bLo, bHi := bounds[w], bounds[w+1]
-				for p := 0; p < pl.M; p++ {
-					wc := &workC[w*pl.M+p]
-					if sparse {
-						blk := &blocks[p].bySrc
-						// Unique per (step, machine); destinations are
-						// worker-disjoint, so the shared stamp arrays race
-						// with no one.
-						stamp := int64(step)*int64(pl.M) + int64(p) + 1
-						for _, s := range srcs {
-							gi := blk.Find(s)
-							if gi < 0 {
+		// Sum order matches the sequential engine — with no merge step. All
+		// scratch is keyed by the shard (= destination-range) index, so any
+		// claiming worker computes the identical result.
+		gatherShard := func(t int) {
+			bLo, bHi := bounds[t], bounds[t+1]
+			for p := 0; p < pl.M; p++ {
+				wc := &workC[t*pl.M+p]
+				if sparse {
+					blk := &blocks[p].bySrc
+					// Unique per (step, machine); destinations are
+					// shard-disjoint, so the shared stamp arrays race
+					// with no one.
+					stamp := int64(step)*int64(pl.M) + int64(p) + 1
+					for _, s := range srcs {
+						gi := blk.Find(s)
+						if gi < 0 {
+							continue
+						}
+						for _, d := range blk.Group(gi) {
+							if d < bLo || d >= bHi {
 								continue
 							}
-							for _, d := range blk.Group(gi) {
-								if d < bLo || d >= bHi {
-									continue
-								}
-								a := prog.Gather(vals[s])
-								if has[d] {
-									acc[d] = prog.Sum(acc[d], a)
-								} else {
-									acc[d] = a
-									has[d] = true
-									dirty[w] = append(dirty[w], d)
-								}
-								wc.Gathers++
-								if touched[d] != stamp {
-									touched[d] = stamp
-									contribs[d] = 0
-									if pl.Master[d] != int32(p) {
-										wc.PartialsOut++
-									}
-								}
-								contribs[d]++
-								if u := float64(contribs[d]); u > wc.MaxUnit {
-									wc.MaxUnit = u
+							a := prog.Gather(vals[s])
+							if has[d] {
+								acc[d] = prog.Sum(acc[d], a)
+							} else {
+								acc[d] = a
+								has[d] = true
+								dirty[t] = append(dirty[t], d)
+							}
+							wc.Gathers++
+							if touched[d] != stamp {
+								touched[d] = stamp
+								contribs[d] = 0
+								if pl.Master[d] != int32(p) {
+									wc.PartialsOut++
 								}
 							}
-						}
-						continue
-					}
-					blk := &blocks[p]
-					sp := spans[w*pl.M+p]
-					for gi := sp.lo; gi < sp.hi; gi++ {
-						d := blk.byDst.Keys[gi]
-						var c int32
-						for _, s := range blk.byDst.Group(int(gi)) {
-							if act != nil && !act[s] {
-								continue
-							}
-							gatherInto(prog, vals, acc, has, s, d)
-							c++
-						}
-						if c > 0 {
-							wc.Gathers += float64(c)
-							if blk.remote[gi] {
-								wc.PartialsOut++
-							}
-							if u := float64(c); u > wc.MaxUnit {
+							contribs[d]++
+							if u := float64(contribs[d]); u > wc.MaxUnit {
 								wc.MaxUnit = u
 							}
 						}
 					}
+					continue
 				}
-			}(w)
+				blk := &blocks[p]
+				sp := spans[t*pl.M+p]
+				for gi := sp.lo; gi < sp.hi; gi++ {
+					d := blk.byDst.Keys[gi]
+					var c int32
+					for _, s := range blk.byDst.Group(int(gi)) {
+						if act != nil && !act[s] {
+							continue
+						}
+						gatherInto(prog, vals, acc, has, s, d)
+						c++
+					}
+					if c > 0 {
+						wc.Gathers += float64(c)
+						if blk.remote[gi] {
+							wc.PartialsOut++
+						}
+						if u := float64(c); u > wc.MaxUnit {
+							wc.MaxUnit = u
+						}
+					}
+				}
+			}
 		}
-		wg.Wait()
+		stealTasks(phaseWorkers, W, func(_, t int) { gatherShard(t) })
 
-		// Apply phase: worker w applies the masters inside its own vertex
-		// range (attributing counters to each vertex's master machine), so
-		// value writes and next-frontier bits stay disjoint.
-		wg.Add(W)
-		for w := 0; w < W; w++ {
-			go func(w int) {
-				defer wg.Done()
-				apply := func(v graph.VertexID, hasAcc bool) {
-					p := pl.Master[v]
-					wc := &workC[w*pl.M+int(p)]
-					newVal, changed := prog.Apply(v, vals[v], acc[v], hasAcc, rt)
-					wc.Applies++
-					vals[v] = newVal
-					if changed {
-						changedFlags[w] = true
-						mirrors := bits.OnesCount64(pl.ReplicaMask[v])
-						if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
-							mirrors--
-						}
-						wc.UpdatesOut += float64(mirrors)
-						if !applyAll {
-							next.bits[v] = true
-							nextAdds[w] = append(nextAdds[w], v)
-							nextCounts[w]++
-						}
-					}
+		// Apply+scatter phase: masters apply, changed vertices count their
+		// mirror broadcasts and activate themselves in the next frontier.
+		// Value writes and frontier bits stay disjoint because chunks (dense)
+		// and dirty lists (sparse) partition the vertex space; counters are
+		// attributed to each vertex's master machine under the claiming
+		// worker's shard and merged as exact integer sums below.
+		apply := func(w int, v graph.VertexID, hasAcc bool) {
+			p := pl.Master[v]
+			wc := &workC[w*pl.M+int(p)]
+			newVal, changed := prog.Apply(v, vals[v], acc[v], hasAcc, rt)
+			wc.Applies++
+			vals[v] = newVal
+			if changed {
+				changedFlags[w] = true
+				mirrors := bits.OnesCount64(pl.ReplicaMask[v])
+				if pl.ReplicaMask[v]&(1<<uint(p)) != 0 {
+					mirrors--
 				}
-				if sparse {
-					for _, d := range dirty[w] {
-						apply(d, true)
-					}
-					return
+				wc.UpdatesOut += float64(mirrors)
+				if !applyAll {
+					next.bits[v] = true
+					nextAdds[w] = append(nextAdds[w], v)
+					nextCounts[w]++
 				}
-				for v := bounds[w]; v < bounds[w+1]; v++ {
+			}
+		}
+		if sparse {
+			stealTasks(phaseWorkers, W, func(w, t int) {
+				for _, d := range dirty[t] {
+					apply(w, d, true)
+				}
+			})
+		} else {
+			stealTasks(W, applyChunks, func(w, c int) {
+				for v := applyBounds[c]; v < applyBounds[c+1]; v++ {
 					if !applyAll && !has[v] {
 						continue
 					}
-					apply(v, has[v])
+					apply(w, v, has[v])
 				}
-			}(w)
+			})
 		}
-		wg.Wait()
 
 		// Merge the counter shards in worker order: counts are sums of
-		// exactly-representable integers over disjoint destination (or
+		// exactly-representable integer counts over disjoint destination (or
 		// master) sets, MaxUnit a max over whole per-destination units, so
-		// the merged counters equal the sequential engine's bit for bit.
+		// the merged counters equal the sequential engine's bit for bit
+		// regardless of which worker claimed which chunk.
 		for p := 0; p < pl.M; p++ {
 			sc := &counters[p]
 			*sc = StepCounters{Vertices: float64(len(pl.MasterVerts[p]))}
@@ -299,19 +352,23 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 			}
 		}
 
-		// Reset accumulators: O(gathered) after a sparse step.
+		// Reset accumulators: O(gathered) after a sparse step, a sharded
+		// wholesale clear after a dense one.
 		if sparse {
 			var zero A
-			for w := 0; w < W; w++ {
-				for _, d := range dirty[w] {
+			for t := 0; t < W; t++ {
+				for _, d := range dirty[t] {
 					acc[d] = zero
 					has[d] = false
 				}
-				dirty[w] = dirty[w][:0]
+				dirty[t] = dirty[t][:0]
 			}
 		} else {
-			clear(has)
-			clear(acc)
+			stealTasks(W, W, func(_, t int) {
+				lo, hi := bounds[t], bounds[t+1]
+				clear(has[lo:hi])
+				clear(acc[lo:hi])
+			})
 		}
 
 		anyChanged := false
@@ -321,18 +378,34 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 		terminated := !anyChanged
 		if !applyAll && !terminated {
 			// Finalize the next frontier from the per-worker activation
-			// lists (bits were set during apply), then swap.
+			// lists (bits were set during apply), then swap. List order is
+			// scheduling-dependent under work stealing, which is invisible:
+			// every consumer sorts the worklist or reads the bitmap.
 			total := 0
 			for _, c := range nextCounts {
 				total += c
 			}
 			next.count = total
-			next.list = next.list[:0]
 			next.overflow = total > next.listCap
 			if !next.overflow {
-				for w := 0; w < W; w++ {
-					next.list = append(next.list, nextAdds[w]...)
+				mergeOffs[0] = 0
+				for w, adds := range nextAdds {
+					mergeOffs[w+1] = mergeOffs[w] + len(adds)
 				}
+				if cap(next.list) < total {
+					next.list = make([]graph.VertexID, total)
+				} else {
+					next.list = next.list[:total]
+				}
+				mergeWorkers := 1
+				if total >= parallelMergeCutoff {
+					mergeWorkers = W
+				}
+				stealTasks(mergeWorkers, W, func(_, w int) {
+					copy(next.list[mergeOffs[w]:mergeOffs[w+1]], nextAdds[w])
+				})
+			} else {
+				next.list = next.list[:0]
 			}
 			for w := range nextAdds {
 				nextAdds[w] = nextAdds[w][:0]
@@ -391,15 +464,16 @@ func shardSpans(blocks []machineBlocks, bounds []graph.VertexID, m, workers int)
 	return spans
 }
 
-// shardBounds splits the vertex space into worker ranges balanced by
-// destination-grouped gather records (plus one unit per vertex so masterless
-// stretches still spread), returning workers+1 ascending cut points.
-func shardBounds(blocks []machineBlocks, n, workers int) []graph.VertexID {
-	prefix := make([]int64, n+1)
+// gatherPrefix builds the per-vertex prefix weights the shard cuts balance
+// on: destination-grouped gather records plus one unit per vertex, so
+// masterless stretches still spread. Built once per run and shared by the
+// gather-shard and apply-chunk cut points.
+func gatherPrefix(blocks []machineBlocks, n int) (prefix []int64, total int64) {
+	prefix = make([]int64, n+1)
 	for v := 0; v < n; v++ {
 		prefix[v+1] = 1
 	}
-	total := int64(n)
+	total = int64(n)
 	for i := range blocks {
 		b := &blocks[i].byDst
 		for gi, k := range b.Keys {
@@ -411,6 +485,12 @@ func shardBounds(blocks []machineBlocks, n, workers int) []graph.VertexID {
 	for v := 0; v < n; v++ {
 		prefix[v+1] += prefix[v]
 	}
+	return prefix, total
+}
+
+// cutBounds splits the vertex space into ranges of roughly equal prefix
+// weight, returning workers+1 ascending cut points.
+func cutBounds(prefix []int64, total int64, n, workers int) []graph.VertexID {
 	bounds := make([]graph.VertexID, workers+1)
 	for w := 1; w < workers; w++ {
 		target := total * int64(w) / int64(workers)

@@ -79,8 +79,9 @@ func TestShardBoundsCoverAndBalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	blocks := pl.blocks(false)
+	prefix, total := gatherPrefix(blocks, g.NumVertices)
 	for _, w := range []int{1, 2, 5} {
-		b := shardBounds(blocks, g.NumVertices, w)
+		b := cutBounds(prefix, total, g.NumVertices, w)
 		if len(b) != w+1 {
 			t.Fatalf("w=%d: got %d bounds", w, len(b))
 		}

@@ -16,7 +16,6 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"proxygraph/internal/graph"
 	"proxygraph/internal/rng"
@@ -135,35 +134,22 @@ func compileWorkers(m int) int {
 
 // compileBlocks builds every machine's gather layout. Blocks are mutually
 // independent — each reads only LocalEdges[p], the shared graph and the
-// master table — so they compile on up to compileWorkers goroutines, one
+// master table — so they compile through the shared work-stealing loop, one
 // machine block per task, with bit-identical output at any worker count.
+// Compile workspaces are per worker (each holds a |V| counting-sort scratch),
+// created lazily so only workers that actually win a task pay for one.
 func (pl *Placement) compileBlocks(both bool) []machineBlocks {
 	blocks := make([]machineBlocks, pl.M)
 	workers := compileWorkers(pl.M)
-	if workers == 1 {
-		c := &blockCompiler{pl: pl, scratch: make([]int32, pl.G.NumVertices)}
-		for p := range blocks {
-			blocks[p] = c.compile(p, both)
+	compilers := make([]*blockCompiler, workers)
+	stealTasks(workers, pl.M, func(w, p int) {
+		c := compilers[w]
+		if c == nil {
+			c = &blockCompiler{pl: pl, scratch: make([]int32, pl.G.NumVertices)}
+			compilers[w] = c
 		}
-		return blocks
-	}
-	var next int32
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			c := &blockCompiler{pl: pl, scratch: make([]int32, pl.G.NumVertices)}
-			for {
-				p := int(atomic.AddInt32(&next, 1)) - 1
-				if p >= pl.M {
-					return
-				}
-				blocks[p] = c.compile(p, both)
-			}
-		}()
-	}
-	wg.Wait()
+		blocks[p] = c.compile(p, both)
+	})
 	return blocks
 }
 

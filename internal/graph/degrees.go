@@ -2,41 +2,61 @@ package graph
 
 import "sync"
 
-// InDegreesParallel computes InDegrees with up to workers goroutines: each
-// worker counts a contiguous edge range into a private array, then the
-// per-vertex sums are merged in worker order (also sharded, by vertex range).
-// Integer addition is exact and commutative, so the result is bit-identical
-// to InDegrees at every worker count — the property the ingress differential
-// test relies on. Memory is O(workers · |V|), so callers should size workers
-// to real parallelism, not to the edge count.
-func (g *Graph) InDegreesParallel(workers int) []int32 {
-	if workers > len(g.Edges) {
-		workers = len(g.Edges)
+// degreeScratch pools the per-worker counting arrays of the parallel degree
+// scans. Before pooling, every call allocated workers×|V| int32s, so the
+// ingress pipeline's bytes/op grew linearly with the shard count (the hybrid
+// shards8 blowup tracked in BENCH_INGRESS.json); pooled arrays are grown once
+// and reused across calls, making the scans' steady-state allocation cost
+// independent of the worker count.
+var degreeScratch sync.Pool
+
+// getDegreeScratch returns a zeroed length-n count array, reusing pooled
+// capacity when available.
+func getDegreeScratch(n int) []int32 {
+	if v := degreeScratch.Get(); v != nil {
+		s := *(v.(*[]int32))
+		if cap(s) >= n {
+			s = s[:n]
+			clear(s)
+			return s
+		}
 	}
-	if workers <= 1 {
-		return g.InDegrees()
-	}
+	return make([]int32, n)
+}
+
+// putDegreeScratch returns a count array to the pool.
+func putDegreeScratch(s []int32) {
+	degreeScratch.Put(&s)
+}
+
+// degreesParallel is the shared worker machinery of InDegreesParallel and
+// OutDegreesParallel: each worker counts a contiguous edge range into a pooled
+// private array, then the per-vertex sums are merged (also sharded, by vertex
+// range) into a freshly allocated result. Integer addition is exact and
+// commutative, so the result is bit-identical to the sequential scan at every
+// worker count — the property the ingress differential test relies on.
+func degreesParallel(g *Graph, workers int, endpoint func(Edge) VertexID) []int32 {
+	out := make([]int32, g.NumVertices)
 	parts := make([][]int32, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			deg := make([]int32, g.NumVertices)
+			deg := getDegreeScratch(g.NumVertices)
 			for _, e := range g.Edges[len(g.Edges)*w/workers : len(g.Edges)*(w+1)/workers] {
-				deg[e.Dst]++
+				deg[endpoint(e)]++
 			}
 			parts[w] = deg
 		}(w)
 	}
 	wg.Wait()
 
-	out := parts[0]
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(lo, hi int) {
 			defer wg.Done()
-			for _, part := range parts[1:] {
+			for _, part := range parts {
 				for v := lo; v < hi; v++ {
 					out[v] += part[v]
 				}
@@ -44,5 +64,34 @@ func (g *Graph) InDegreesParallel(workers int) []int32 {
 		}(g.NumVertices*w/workers, g.NumVertices*(w+1)/workers)
 	}
 	wg.Wait()
+	for _, part := range parts {
+		putDegreeScratch(part)
+	}
 	return out
+}
+
+// InDegreesParallel computes InDegrees with up to workers goroutines over
+// pooled per-worker count arrays (see degreesParallel). Callers should size
+// workers to real parallelism, not to the edge count.
+func (g *Graph) InDegreesParallel(workers int) []int32 {
+	if workers > len(g.Edges) {
+		workers = len(g.Edges)
+	}
+	if workers <= 1 {
+		return g.InDegrees()
+	}
+	return degreesParallel(g, workers, func(e Edge) VertexID { return e.Dst })
+}
+
+// OutDegreesParallel computes OutDegrees with up to workers goroutines, the
+// out-direction twin of InDegreesParallel with the same bit-identical
+// guarantee.
+func (g *Graph) OutDegreesParallel(workers int) []int32 {
+	if workers > len(g.Edges) {
+		workers = len(g.Edges)
+	}
+	if workers <= 1 {
+		return g.OutDegrees()
+	}
+	return degreesParallel(g, workers, func(e Edge) VertexID { return e.Src })
 }

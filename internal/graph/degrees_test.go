@@ -1,6 +1,9 @@
 package graph
 
-import "testing"
+import (
+	"sort"
+	"testing"
+)
 
 func TestInDegreesParallelMatchesSequential(t *testing.T) {
 	graphs := []*Graph{
@@ -23,5 +26,62 @@ func TestInDegreesParallelMatchesSequential(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestOutDegreesParallelMatchesSequential(t *testing.T) {
+	graphs := []*Graph{
+		diamond(),
+		randomGraph(t, 89, 500, 4000),
+		{NumVertices: 7},
+		{NumVertices: 3, Edges: []Edge{{0, 1}, {2, 1}}},
+	}
+	for gi, g := range graphs {
+		want := g.OutDegrees()
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			got := g.OutDegreesParallel(workers)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("graph %d workers %d: vertex %d out-degree %d, want %d",
+						gi, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCSRIntoMatchesBuild pins the reusable unsorted builders against the
+// sorted ones: same rows as multisets, and a second rebuild into the same
+// storage (after a larger graph stretched it) stays correct.
+func TestCSRIntoMatchesBuild(t *testing.T) {
+	big := randomGraph(t, 97, 600, 5000)
+	small := randomGraph(t, 101, 40, 200)
+	var in, out CSR
+	for _, g := range []*Graph{big, small, {NumVertices: 5}, diamond()} {
+		g.InCSRInto(&in)
+		g.OutCSRInto(&out)
+		wantIn, wantOut := g.BuildInCSR(), g.BuildOutCSR()
+		check := func(name string, got *CSR, want *CSR) {
+			t.Helper()
+			if len(got.Offsets) != len(want.Offsets) {
+				t.Fatalf("%s: offsets length %d, want %d", name, len(got.Offsets), len(want.Offsets))
+			}
+			for v := 0; v < g.NumVertices; v++ {
+				a := append([]VertexID(nil), got.Neighbors(VertexID(v))...)
+				b := append([]VertexID(nil), want.Neighbors(VertexID(v))...)
+				sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+				sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+				if len(a) != len(b) {
+					t.Fatalf("%s: vertex %d row length %d, want %d", name, v, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s: vertex %d row %v, want %v", name, v, a, b)
+					}
+				}
+			}
+		}
+		check("in", &in, wantIn)
+		check("out", &out, wantOut)
 	}
 }

@@ -221,6 +221,59 @@ func (g *Graph) BuildInCSR() *CSR {
 		func(e Edge) VertexID { return e.Src }, false)
 }
 
+// buildCSRInto rebuilds adjacency into c's existing storage, growing the
+// backing arrays only when the graph outgrows them, and skips the per-row
+// neighbor sort: rows keep stable edge order. Consumers that only aggregate
+// over neighbor sets (histograms, degree sums) get identical results to the
+// sorted builders while avoiding the per-row sort.Slice allocations that
+// dominated the ginger ingress path's allocs/op.
+func buildCSRInto(c *CSR, n int, edges []Edge, key, val func(Edge) VertexID) {
+	if cap(c.Offsets) >= n+1 {
+		c.Offsets = c.Offsets[:n+1]
+		clear(c.Offsets)
+	} else {
+		c.Offsets = make([]int64, n+1)
+	}
+	if cap(c.Targets) >= len(edges) {
+		c.Targets = c.Targets[:len(edges)]
+	} else {
+		c.Targets = make([]VertexID, len(edges))
+	}
+	for _, e := range edges {
+		c.Offsets[key(e)+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.Offsets[i+1] += c.Offsets[i]
+	}
+	// The scatter pass uses Offsets[k] itself as the write cursor: after the
+	// pass every Offsets[k] has advanced to the old Offsets[k+1], so shifting
+	// the array right by one restores the row boundaries without a separate
+	// cursor allocation.
+	for _, e := range edges {
+		k := key(e)
+		c.Targets[c.Offsets[k]] = val(e)
+		c.Offsets[k]++
+	}
+	copy(c.Offsets[1:], c.Offsets[:n])
+	c.Offsets[0] = 0
+}
+
+// InCSRInto rebuilds in-adjacency (sources pointing at each target) into c,
+// with unsorted rows in stable edge order. See buildCSRInto.
+func (g *Graph) InCSRInto(c *CSR) {
+	buildCSRInto(c, g.NumVertices, g.Edges,
+		func(e Edge) VertexID { return e.Dst },
+		func(e Edge) VertexID { return e.Src })
+}
+
+// OutCSRInto rebuilds out-adjacency into c, with unsorted rows in stable
+// edge order. See buildCSRInto.
+func (g *Graph) OutCSRInto(c *CSR) {
+	buildCSRInto(c, g.NumVertices, g.Edges,
+		func(e Edge) VertexID { return e.Src },
+		func(e Edge) VertexID { return e.Dst })
+}
+
 // BuildUndirectedCSR builds symmetric adjacency with duplicate neighbors
 // removed, the view Triangle Count and Coloring operate on.
 func (g *Graph) BuildUndirectedCSR() *CSR {

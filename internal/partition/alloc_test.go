@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"testing"
+
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+)
+
+// Allocation guards for the ingress hot paths. The budgets are deliberately
+// loose multiples of the measured steady state (pools warm, which
+// AllocsPerRun's warm-up call guarantees) so they only trip on a regression
+// class — a per-edge or per-vertex allocation sneaking back in — not on
+// incidental churn. Ginger's guard is the headline: its refinement sweep
+// allocated ~200k times per call (per-row sort.Slice inside the sorted CSR
+// build) before the pooled unsorted CSR arena cut it to the low hundreds.
+const (
+	randomAllocBudget = 200
+	hybridAllocBudget = 200
+	gingerAllocBudget = 5000
+)
+
+func allocGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.Generate(gen.Spec{
+		Name: "alloc", Vertices: 20000, Edges: 160000, Kind: gen.KindPowerLaw,
+	}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIngressAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budgets only hold in normal builds")
+	}
+	g := allocGraph(t)
+	shares := UniformShares(8)
+	cases := []struct {
+		name   string
+		budget float64
+		p      Partitioner
+	}{
+		{"random", randomAllocBudget, NewRandomHash()},
+		{"hybrid", hybridAllocBudget, NewHybrid()},
+		{"ginger", gingerAllocBudget, NewGinger()},
+	}
+	for _, shards := range []int{1, 8} {
+		setShards(t, shards)
+		for _, c := range cases {
+			t.Run(c.name, func(t *testing.T) {
+				avg := testing.AllocsPerRun(3, func() {
+					if _, err := c.p.Partition(g, shares, 7); err != nil {
+						t.Fatal(err)
+					}
+				})
+				t.Logf("%s shards=%d: %.0f allocs/op", c.name, shards, avg)
+				if avg > c.budget {
+					t.Errorf("%s shards=%d: %.0f allocs/op exceeds budget %.0f",
+						c.name, shards, avg, c.budget)
+				}
+			})
+		}
+	}
+}
+
+// TestHybridShardedBytesRegression pins the fix for the sharded ingress
+// memory blowup: hybrid at 8 shards used to allocate a fresh workers×|V|
+// count matrix inside the parallel in-degree scan (9.6MB/op vs 6.8MB at one
+// shard on the tracked benchmark). With the pooled degree scratch the sharded
+// path must stay within a small factor of the single-shard bytes.
+func TestHybridShardedBytesRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation skews bytes/op")
+	}
+	if testing.Short() {
+		t.Skip("benchmarks under -short")
+	}
+	g := allocGraph(t)
+	shares := UniformShares(8)
+	h := NewHybrid()
+	run := func(shards int) testing.BenchmarkResult {
+		prev := ParallelShards
+		ParallelShards = shards
+		defer func() { ParallelShards = prev }()
+		// Warm the degree-scratch pool so the measurement sees steady state.
+		if _, err := h.Partition(g, shares, 7); err != nil {
+			t.Fatal(err)
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Partition(g, shares, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	one := run(1)
+	eight := run(8)
+	b1, b8 := one.AllocedBytesPerOp(), eight.AllocedBytesPerOp()
+	t.Logf("hybrid bytes/op: shards1=%d shards8=%d", b1, b8)
+	if b1 == 0 {
+		t.Fatal("no bytes measured at one shard")
+	}
+	if ratio := float64(b8) / float64(b1); ratio > 1.15 {
+		t.Errorf("sharded hybrid allocates %.2fx the single-shard bytes (%d vs %d); scratch is no longer pooled",
+			ratio, b8, b1)
+	}
+}

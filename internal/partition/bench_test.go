@@ -49,6 +49,13 @@ func benchVariants(b *testing.B, g *graph.Graph, reference func() []int32, produ
 			runIngressBench(b, g, production)
 		})
 	}
+	// auto follows GOMAXPROCS (the -cpu axis of make bench-scaling), so its
+	// entries show how the production path scales with real cores rather
+	// than with a fixed shard count.
+	b.Run("auto", func(b *testing.B) {
+		ParallelShards = 0
+		runIngressBench(b, g, production)
+	})
 }
 
 func BenchmarkIngressRandom(b *testing.B) {

@@ -19,7 +19,34 @@ func NewOblivious() *Oblivious { return &Oblivious{} }
 // Name implements Partitioner.
 func (*Oblivious) Name() string { return "oblivious" }
 
-// Partition implements Partitioner.
+// obliviousCandidates derives an edge's candidate machine set from its
+// endpoints' replica masks: machines hosting both endpoints (no new mirror),
+// else machines hosting either (one new mirror), else everyone.
+func obliviousCandidates(maskU, maskV, allMask uint64) uint64 {
+	switch {
+	case maskU&maskV != 0:
+		return maskU & maskV
+	case maskU != 0 && maskV != 0:
+		return maskU | maskV
+	case maskU != 0:
+		return maskU
+	case maskV != 0:
+		return maskV
+	}
+	return allMask
+}
+
+// Partition implements Partitioner. The stream is order-dependent (each
+// placement updates the replica masks and loads the next edge reads), so
+// multi-shard runs window-batch it: a parallel phase computes every window
+// edge's candidate mask against the replica masks frozen at the window
+// boundary, and the sequential commit consumes a hint only when neither
+// endpoint's mask changed inside the window (per-vertex epoch stamps),
+// recomputing from live state otherwise. Single-candidate hints commit
+// without touching the load vector at all — the common case once the stream
+// warms up, since most edges land inside an endpoint's existing replica set.
+// Owner vectors are bit-identical to referenceOblivious at every shard count
+// and window size.
 func (*Oblivious) Partition(g *graph.Graph, shares []float64, seed uint64) ([]int32, error) {
 	if err := checkShares(shares, 1); err != nil {
 		return nil, err
@@ -28,25 +55,15 @@ func (*Oblivious) Partition(g *graph.Graph, shares []float64, seed uint64) ([]in
 	// placed[v] is the bitmask of machines already hosting a replica of v.
 	placed := make([]uint64, g.NumVertices)
 	load := make([]int64, m)
-
 	owner := make([]int32, len(g.Edges))
 	allMask := uint64(1)<<uint(m) - 1
-	for i, e := range g.Edges {
-		maskU, maskV := placed[e.Src], placed[e.Dst]
-		var candidates uint64
-		switch {
-		case maskU&maskV != 0:
-			// Some machine hosts both endpoints: reuse it (no new mirror).
-			candidates = maskU & maskV
-		case maskU != 0 && maskV != 0:
-			// Both endpoints placed but disjoint: one new mirror either way.
-			candidates = maskU | maskV
-		case maskU != 0:
-			candidates = maskU
-		case maskV != 0:
-			candidates = maskV
-		default:
-			candidates = allMask
+
+	// pickBest resolves a non-empty candidate set exactly as the spec's scan:
+	// lowest normalized load, first index winning ties. A single candidate
+	// needs no scan — the scan could only return that machine.
+	pickBest := func(candidates uint64) int32 {
+		if candidates&(candidates-1) == 0 {
+			return int32(bits.TrailingZeros64(candidates))
 		}
 		best := int32(-1)
 		bestScore := 0.0
@@ -58,10 +75,59 @@ func (*Oblivious) Partition(g *graph.Graph, shares []float64, seed uint64) ([]in
 				best, bestScore = p, score
 			}
 		}
-		owner[i] = best
-		load[best]++
-		placed[e.Src] |= 1 << uint(best)
-		placed[e.Dst] |= 1 << uint(best)
+		return best
+	}
+
+	if resolveShards(len(g.Edges)) == 1 {
+		for i, e := range g.Edges {
+			best := pickBest(obliviousCandidates(placed[e.Src], placed[e.Dst], allMask))
+			owner[i] = best
+			load[best]++
+			placed[e.Src] |= 1 << uint(best)
+			placed[e.Dst] |= 1 << uint(best)
+		}
+		return owner, nil
+	}
+
+	// touched[v] is the 1-based window index in which placed[v] last gained a
+	// bit; a hint is stale iff either endpoint was touched in the current
+	// window (earlier windows' changes are already in the snapshot).
+	touched := make([]int32, g.NumVertices)
+	sc := streamScratchPool.Get().(*streamScratch)
+	defer streamScratchPool.Put(sc)
+	sc.cand = growMasks(sc.cand, streamWindowSize)
+	cand := sc.cand
+	for lo := 0; lo < len(g.Edges); lo += streamWindowSize {
+		hi := lo + streamWindowSize
+		if hi > len(g.Edges) {
+			hi = len(g.Edges)
+		}
+		win := int32(lo/streamWindowSize) + 1
+		parallelRanges(hi-lo, func(rlo, rhi int) {
+			for r := rlo; r < rhi; r++ {
+				e := g.Edges[lo+r]
+				cand[r] = obliviousCandidates(placed[e.Src], placed[e.Dst], allMask)
+			}
+		})
+		for i := lo; i < hi; i++ {
+			e := g.Edges[i]
+			candidates := cand[i-lo]
+			if touched[e.Src] == win || touched[e.Dst] == win {
+				candidates = obliviousCandidates(placed[e.Src], placed[e.Dst], allMask)
+			}
+			best := pickBest(candidates)
+			owner[i] = best
+			load[best]++
+			bit := uint64(1) << uint(best)
+			if placed[e.Src]&bit == 0 {
+				placed[e.Src] |= bit
+				touched[e.Src] = win
+			}
+			if placed[e.Dst]&bit == 0 {
+				placed[e.Dst] |= bit
+				touched[e.Dst] = win
+			}
+		}
 	}
 	return owner, nil
 }

@@ -10,10 +10,13 @@ import (
 // zero (the default) means one worker per available CPU. Like
 // engine.ParallelShards, the shard count never affects results: the
 // order-independent partitioners (random, hybrid, ginger's hash phases)
-// produce bit-identical owner vectors at every shard count, pinned against
-// the sequential specs in reference.go by the ingress differential test.
-// The streaming partitioners (oblivious, grid, hdrf) and ginger's greedy
-// refinement are inherently order-dependent and always run sequentially.
+// shard freely, and the order-dependent streams (oblivious, hdrf, ginger's
+// greedy refinement) run window-batched — parallel hint phases against a
+// window-boundary snapshot, sequential validated commits (see window.go) —
+// so every owner vector is bit-identical to the sequential specs in
+// reference.go at any shard count, pinned by the ingress differential test.
+// Grid remains fully sequential (its constraint sets are cheap lookups with
+// nothing to precompute).
 var ParallelShards int
 
 // resolveShards returns the worker count for n independent items.

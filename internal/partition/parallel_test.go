@@ -14,6 +14,15 @@ func setShards(t *testing.T, n int) {
 	t.Cleanup(func() { ParallelShards = prev })
 }
 
+// setWindows shrinks the window-batching sizes for one test, forcing many
+// windows (and the cross-window hint validation paths) on small test graphs.
+func setWindows(t *testing.T, n int) {
+	t.Helper()
+	prevG, prevS := gingerWindowSize, streamWindowSize
+	gingerWindowSize, streamWindowSize = n, n
+	t.Cleanup(func() { gingerWindowSize, streamWindowSize = prevG, prevS })
+}
+
 // diffShareVectors are the share shapes the differential suite sweeps: the
 // homogeneous baseline and a CCR-like skew (Case 2's 1:3.5 extended).
 func diffShareVectors(t *testing.T, m int) [][]float64 {
@@ -34,44 +43,53 @@ func diffShareVectors(t *testing.T, m int) [][]float64 {
 }
 
 // TestIngressDifferential pins the parallel production partitioners to their
-// sequential executable specs: random, hybrid and ginger must produce
-// bit-identical owner vectors to reference.go at every shard count, machine
-// count and share shape, and every partitioner (including the sequential
-// streaming ones) must be invariant to the shard knob.
+// sequential executable specs: random, hybrid, ginger, oblivious and hdrf
+// must produce bit-identical owner vectors to reference.go at every shard
+// count, window size, machine count and share shape, and every partitioner
+// must be invariant to the shard and window knobs. The 64-entry window forces
+// dozens of windows on the test graph, exercising the cross-window hint
+// validation (ginger's histogram patching, the streaming epoch stamps) that a
+// single window would never hit.
 func TestIngressDifferential(t *testing.T) {
 	g := testGraph(t, 71, 800, 6400)
 	const seed = 101
 	for _, m := range []int{1, 2, 4, 7, 8} {
 		for si, shares := range diffShareVectors(t, m) {
 			refs := map[string][]int32{
-				"random": referenceRandom(g, shares, seed),
-				"hybrid": referenceHybrid(NewHybrid(), g, shares, seed),
-				"ginger": referenceGinger(NewGinger(), g, shares, seed),
+				"random":    referenceRandom(g, shares, seed),
+				"hybrid":    referenceHybrid(NewHybrid(), g, shares, seed),
+				"ginger":    referenceGinger(NewGinger(), g, shares, seed),
+				"oblivious": referenceOblivious(g, shares),
+				"hdrf":      referenceHDRF(NewHDRF(), g, shares, seed),
 			}
-			// Baseline owner vectors at one shard, per partitioner.
+			// Baseline owner vectors, shared across every shard count and
+			// window size: the knobs must never change a single edge.
 			base := map[string][]int32{}
-			for _, shards := range []int{1, 2, 3, 8} {
-				setShards(t, shards)
-				for _, p := range WithExtensions() {
-					owner, err := p.Partition(g, shares, seed)
-					if err != nil {
-						t.Fatalf("%s/m=%d/shares=%d/shards=%d: %v", p.Name(), m, si, shards, err)
-					}
-					if want, ok := refs[p.Name()]; ok {
-						for i := range owner {
-							if owner[i] != want[i] {
-								t.Fatalf("%s/m=%d/shares=%d/shards=%d: edge %d owner %d, reference %d",
-									p.Name(), m, si, shards, i, owner[i], want[i])
+			for _, window := range []int{64, 4096} {
+				setWindows(t, window)
+				for _, shards := range []int{1, 2, 3, 8} {
+					setShards(t, shards)
+					for _, p := range WithExtensions() {
+						owner, err := p.Partition(g, shares, seed)
+						if err != nil {
+							t.Fatalf("%s/m=%d/shares=%d/shards=%d: %v", p.Name(), m, si, shards, err)
+						}
+						if want, ok := refs[p.Name()]; ok {
+							for i := range owner {
+								if owner[i] != want[i] {
+									t.Fatalf("%s/m=%d/shares=%d/shards=%d/window=%d: edge %d owner %d, reference %d",
+										p.Name(), m, si, shards, window, i, owner[i], want[i])
+								}
 							}
 						}
-					}
-					if prev, ok := base[p.Name()]; !ok {
-						base[p.Name()] = owner
-					} else {
-						for i := range owner {
-							if owner[i] != prev[i] {
-								t.Fatalf("%s/m=%d/shares=%d: shard count %d changed edge %d (%d vs %d)",
-									p.Name(), m, si, shards, i, owner[i], prev[i])
+						if prev, ok := base[p.Name()]; !ok {
+							base[p.Name()] = owner
+						} else {
+							for i := range owner {
+								if owner[i] != prev[i] {
+									t.Fatalf("%s/m=%d/shares=%d: shards %d window %d changed edge %d (%d vs %d)",
+										p.Name(), m, si, shards, window, i, owner[i], prev[i])
+								}
 							}
 						}
 					}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package partition
+
+// raceEnabled reports whether the race detector instruments this test binary;
+// the alloc-count guards skip under it (instrumentation allocates).
+const raceEnabled = false

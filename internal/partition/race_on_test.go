@@ -1,0 +1,6 @@
+//go:build race
+
+package partition
+
+// raceEnabled reports whether the race detector instruments this test binary.
+const raceEnabled = true

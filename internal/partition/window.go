@@ -1,0 +1,56 @@
+package partition
+
+import "sync"
+
+// Window-batched streaming: the order-dependent partitioners (oblivious,
+// hdrf, ginger's refinement) process their stream in fixed-size windows. Each
+// window runs two phases: a parallel phase computes per-element hints against
+// a snapshot of the mutable state frozen at the window boundary, then a
+// sequential commit walks the window in stream order, validating every hint
+// against what actually changed inside the window (per-vertex epoch stamps or
+// explicit histogram patching) before consuming it. Stale hints are
+// recomputed from live state, so the committed decisions — and therefore the
+// owner vectors — are bit-identical to the sequential specs in reference.go
+// at every shard count and window size, which TestIngressDifferential pins.
+//
+// The window sizes are variables only so tests can shrink them to force many
+// windows (and the cross-window validation paths) on small graphs.
+var (
+	// gingerWindowSize is the vertex count per refinement window.
+	gingerWindowSize = 4096
+	// streamWindowSize is the edge count per oblivious/hdrf window.
+	streamWindowSize = 4096
+)
+
+// streamScratch is the reusable per-window hint storage of the streaming
+// partitioners, pooled so repeated ingress runs allocate it once: candidate
+// masks (oblivious), endpoint mask snapshots, degree counts and gather scores
+// (hdrf). Slices grow to the window size on first use and are reused as-is.
+type streamScratch struct {
+	cand, maskU, maskV []uint64
+	gU, gV             []float64
+	du, dv             []int32
+}
+
+var streamScratchPool = sync.Pool{New: func() any { return new(streamScratch) }}
+
+func growMasks(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
