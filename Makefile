@@ -1,6 +1,6 @@
 # Developer entry points. The repo needs only the Go toolchain.
 
-.PHONY: build test check bench bench-ingress bench-scaling bench-smoke fuzz-smoke golden-update
+.PHONY: build test check bench bench-ingress bench-scaling bench-smoke fuzz-smoke crash-smoke golden-update
 
 build:
 	go build ./...
@@ -34,6 +34,13 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzChromeTrace -fuzztime $(FUZZTIME) ./internal/trace
 	go test -run '^$$' -fuzz FuzzPrometheus -fuzztime $(FUZZTIME) ./internal/trace
 	go test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime $(FUZZTIME) ./internal/engine
+	go test -run '^$$' -fuzz FuzzDecodeJournal -fuzztime $(FUZZTIME) ./internal/service
+
+# crash-smoke runs the end-to-end crash-restart check: a journaling serve
+# process is kill -9'd mid-life and restarted; status URLs, idempotency keys
+# and recovery metrics must survive. CI runs it on every merge.
+crash-smoke:
+	bash scripts/crash_restart_smoke.sh
 
 # golden-update rewrites the experiment golden files after an intentional
 # accounting or formatting change; review the testdata diff before committing.

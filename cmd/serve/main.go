@@ -16,7 +16,15 @@
 // Usage:
 //
 //	serve -addr :8080 -cluster xeon:4:2.5,xeon:12:2.5 -scale 256 \
-//	      -tenants gold:2,silver:1:120,bronze:0 -queue 32 -retries 3
+//	      -tenants gold:2,silver:1:120,bronze:0 -queue 32 -retries 3 \
+//	      -journal /var/lib/proxygraph/jobs.journal -drain-timeout 10
+//
+// With -journal, every control-plane transition is written ahead to a
+// checksummed append-only log and a restart recovers the previous
+// incarnation's jobs, ids and tenant budgets (DESIGN.md §8); POST /jobs
+// honours an Idempotency-Key header so resubmissions after a crash or client
+// timeout never run the same work twice. SIGTERM/SIGINT drains in-flight
+// jobs for -drain-timeout seconds before canceling what remains.
 package main
 
 import (
@@ -48,11 +56,13 @@ import (
 // appConfig is everything main needs, assembled by buildConfig so flag
 // validation is testable without binding sockets or generating graphs.
 type appConfig struct {
-	addr     string
-	scale    int
-	seed     uint64
-	traceOut string
-	svc      service.Config
+	addr         string
+	scale        int
+	seed         uint64
+	traceOut     string
+	journalPath  string
+	drainTimeout time.Duration
+	svc          service.Config
 }
 
 // buildConfig parses and validates the command line. Invalid input — a bad
@@ -78,6 +88,8 @@ func buildConfig(args []string) (*appConfig, error) {
 		cacheBytes  = fs.Int64("cache-bytes", 0, "placement cache approximate byte bound (0 = unbounded)")
 		charge      = fs.Bool("charge-ingress", true, "charge cold ingress makespans to jobs")
 		traceOut    = fs.String("trace-out", "", "write a Chrome trace-event JSON here on shutdown")
+		journal     = fs.String("journal", "", "write-ahead job journal path; enables crash-restart recovery (empty = in-memory only)")
+		drain       = fs.Float64("drain-timeout", 10, "seconds to let queued/running jobs finish on SIGTERM/SIGINT before canceling them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -111,12 +123,27 @@ func buildConfig(args []string) (*appConfig, error) {
 		}
 		f.Close()
 	}
+	if *drain < 0 {
+		return nil, fmt.Errorf("serve: -drain-timeout must be non-negative, got %g", *drain)
+	}
+	if *journal != "" {
+		// Validate writability without touching the contents — recovery and
+		// truncation happen in newServer, this only catches an unwritable
+		// path before the process commits to serving.
+		f, err := os.OpenFile(*journal, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal: %v", err)
+		}
+		f.Close()
+	}
 
 	cfg := &appConfig{
-		addr:     *addr,
-		scale:    *scale,
-		seed:     *seed,
-		traceOut: *traceOut,
+		addr:         *addr,
+		scale:        *scale,
+		seed:         *seed,
+		traceOut:     *traceOut,
+		journalPath:  *journal,
+		drainTimeout: time.Duration(*drain * float64(time.Second)),
 		svc: service.Config{
 			Cluster:          cl,
 			Cache:            workload.NewBoundedPlacementCache(*cacheSize, *cacheBytes),
@@ -171,14 +198,21 @@ func parseTenants(spec string) ([]service.Tenant, error) {
 
 // server binds the service to HTTP handlers.
 type server struct {
-	svc    *service.Service
-	reg    *trace.Registry
-	graphs map[string]*graph.Graph
-	seeds  map[string]uint64
+	svc     *service.Service
+	reg     *trace.Registry
+	graphs  map[string]*graph.Graph
+	seeds   map[string]uint64
+	journal service.Journal // nil without -journal
+	// retryAfterBreaker is the Retry-After hint for breaker rejections.
+	retryAfterBreaker int
 }
 
 // newServer generates the Table II graph catalog at 1/scale and starts the
-// service with an Observer folding every event into the registry.
+// service with an Observer folding every event into the registry. With a
+// journal path configured it first recovers the previous incarnation's state:
+// terminal jobs reappear with their results and budget charges, in-flight
+// jobs re-enter the queue, and new job ids continue the journal sequence so
+// status URLs stay valid across the restart.
 func newServer(cfg *appConfig, extra trace.Collector) (*server, error) {
 	reg := trace.NewRegistry()
 	cfg.svc.Trace = trace.Multi(trace.NewObserver(reg), extra)
@@ -193,11 +227,47 @@ func newServer(cfg *appConfig, extra trace.Collector) (*server, error) {
 		graphs[spec.Name] = g
 		seeds[spec.Name] = rng.Hash2(cfg.seed^0x696e67, uint64(i))
 	}
+
+	var journal service.Journal
+	if cfg.journalPath != "" {
+		fj, rec, err := service.OpenFileJournal(cfg.journalPath)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Err != nil {
+			// A torn tail is the expected artifact of kill -9; it has already
+			// been truncated away. Surface it for the operator's log.
+			fmt.Fprintf(os.Stderr, "serve: journal tail discarded: %v\n", rec.Err)
+		}
+		journal = fj
+		cfg.svc.Journal = fj
+		cfg.svc.Recovery = rec
+		cfg.svc.Resolve = func(appName, graphName string, seed uint64) (workload.Job, error) {
+			a, err := apps.ByName(appName)
+			if err != nil {
+				return workload.Job{}, err
+			}
+			g, ok := graphs[graphName]
+			if !ok {
+				return workload.Job{}, fmt.Errorf("unknown graph %q", graphName)
+			}
+			return workload.Job{App: a, Graph: g, Seed: seed}, nil
+		}
+	}
+
 	svc, err := service.New(cfg.svc)
 	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
 		return nil, err
 	}
-	return &server{svc: svc, reg: reg, graphs: graphs, seeds: seeds}, nil
+	retryAfter := 1
+	if cfg.svc.BreakerCooldown > float64(retryAfter) {
+		retryAfter = int(cfg.svc.BreakerCooldown + 0.999)
+	}
+	return &server{svc: svc, reg: reg, graphs: graphs, seeds: seeds,
+		journal: journal, retryAfterBreaker: retryAfter}, nil
 }
 
 // submitRequest is the POST /jobs payload.
@@ -237,9 +307,25 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// timer early would sever the deadline. It self-releases on expiry.
 		_ = cancel
 	}
-	id, err := s.svc.Submit(ctx, req.Tenant, workload.Job{App: app, Graph: g, Seed: s.seeds[req.Graph]})
+	// An Idempotency-Key header makes the POST safe to retry: a duplicate
+	// submission (client timeout, proxy retry, resubmission after a crash)
+	// returns the original job's id instead of running the work twice.
+	key := r.Header.Get("Idempotency-Key")
+	id, err := s.svc.SubmitKey(ctx, req.Tenant, key, workload.Job{App: app, Graph: g, Seed: s.seeds[req.Graph]})
 	if err != nil {
-		httpError(w, admissionStatus(err), err)
+		code := admissionStatus(err)
+		// Backpressure responses tell shed clients when to come back: the
+		// breaker cooldown for breaker rejections, a nominal second for
+		// queue-bound and degraded/closed rejections.
+		switch code {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			retry := 1
+			if errors.Is(err, service.ErrCircuitOpen) {
+				retry = s.retryAfterBreaker
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+		}
+		httpError(w, code, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]int{"id": id})
@@ -247,14 +333,17 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // admissionStatus maps the typed admission errors onto HTTP semantics:
 // overload and an open breaker are backpressure (429), an exhausted budget is
-// a hard client-side stop (403), a closed service is 503.
+// a hard client-side stop (403), key reuse for different work is a conflict
+// (409), and a closed or degraded service is 503.
 func admissionStatus(err error) int {
 	switch {
 	case errors.Is(err, service.ErrOverloaded), errors.Is(err, service.ErrCircuitOpen):
 		return http.StatusTooManyRequests
 	case errors.Is(err, service.ErrBudgetExhausted):
 		return http.StatusForbidden
-	case errors.Is(err, service.ErrClosed):
+	case errors.Is(err, service.ErrKeyConflict):
+		return http.StatusConflict
+	case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDegraded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -290,6 +379,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.reg.Gauge("proxygraph_jobs_completed", "jobs completed").Set(float64(c.Completed))
 	s.reg.Gauge("proxygraph_jobs_failed", "jobs terminally failed").Set(float64(c.Failed))
 	s.reg.Gauge("proxygraph_jobs_submitted", "submissions").Set(float64(c.Submitted))
+	s.reg.Gauge("proxygraph_jobs_deduped", "submissions answered by idempotency key").Set(float64(c.Deduped))
+	s.reg.Gauge("proxygraph_journal_appends", "journal records made durable").Set(float64(c.JournalAppends))
+	s.reg.Gauge("proxygraph_journal_errors", "journal write failures").Set(float64(c.JournalErrors))
+	s.reg.Gauge("proxygraph_jobs_recovered_done", "terminal jobs rebuilt from the journal at startup").Set(float64(c.RecoveredDone))
+	s.reg.Gauge("proxygraph_jobs_recovered_requeued", "in-flight jobs re-enqueued from the journal at startup").Set(float64(c.RecoveredRequeued))
+	degraded, _ := s.svc.Degraded()
+	degVal := 0.0
+	if degraded {
+		degVal = 1
+	}
+	s.reg.Gauge("proxygraph_degraded", "1 while the job service is in degraded mode.").Set(degVal)
 	if stats := s.svc.CacheStats(); stats != nil {
 		s.reg.Gauge("proxygraph_placement_cache_hits", "placement cache hits").Set(float64(stats.Hits))
 		s.reg.Gauge("proxygraph_placement_cache_misses", "placement cache misses").Set(float64(stats.Misses))
@@ -313,6 +413,13 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if !s.svc.Healthy() {
 			httpError(w, http.StatusServiceUnavailable, errors.New("closed"))
+			return
+		}
+		if degraded, err := s.svc.Degraded(); degraded {
+			// Degraded mode sheds new work; taking the instance out of LB
+			// rotation is exactly what a 503 here does. Reads still serve.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("degraded: %v", err))
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -352,7 +459,9 @@ func main() {
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.mux()}
 	go func() {
-		fmt.Printf("serving on %s (%d graphs, %d tenants)\n", cfg.addr, len(srv.graphs), len(cfg.svc.Tenants))
+		c := srv.svc.Counters()
+		fmt.Printf("serving on %s (%d graphs, %d tenants, recovered %d done + %d requeued)\n",
+			cfg.addr, len(srv.graphs), len(cfg.svc.Tenants), c.RecoveredDone, c.RecoveredRequeued)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -363,10 +472,22 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful shutdown: stop accepting HTTP, then give queued and running
+	// jobs -drain-timeout to finish. Queued work still pending at the
+	// deadline is canceled by Close — and journaled as canceled, so the next
+	// incarnation reports those jobs canceled instead of re-running them
+	// (unlike a crash, where in-flight work is re-enqueued at recovery).
+	fmt.Println("shutting down: draining jobs")
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+	if err := srv.svc.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "serve: drain timed out after %s, canceling pending jobs\n", cfg.drainTimeout)
+	}
 	srv.svc.Close()
+	if srv.journal != nil {
+		_ = srv.journal.Close()
+	}
 	if rec != nil {
 		f, err := os.Create(cfg.traceOut)
 		if err == nil {

@@ -1,0 +1,329 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleRecords exercises every record kind, every string field, and the
+// numeric edge cases (negative priority, NaN-free floats, max-ish ids).
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: RecordSubmit, Tenant: "gold", App: "pagerank", Graph: "LiveJournal", Key: "req-1",
+			Seed: 0xdeadbeef, Fingerprint: 42, Priority: 2},
+		{Kind: RecordAdmit, ID: 1},
+		{Kind: RecordStart, ID: 1, Attempt: 0},
+		{Kind: RecordRetry, ID: 1, Attempt: 1, Seconds: 0.125},
+		{Kind: RecordComplete, ID: 1, Attempt: 1, Seconds: 3.5, Ingress: 0.25, Energy: 700.5, Flag: true},
+		{Kind: RecordBudgetCharge, ID: 1, Tenant: "gold", Seconds: 3.75, Energy: 700.5},
+		{Kind: RecordFail, ID: 2, Attempt: 3, Error: "service: transient attempt failure (injected)"},
+		{Kind: RecordShed, ID: 3, Error: "priority"},
+		{Kind: RecordSubmit, Tenant: "bronze", Priority: -1}, // empty strings, zero job
+	}
+}
+
+// TestServiceJournalRoundTrip pins the canonical-codec property directly:
+// encode∘decode is the identity, sequence numbers are positional, and a clean
+// image decodes with no error and full coverage.
+func TestServiceJournalRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	img := EncodeJournal(recs)
+	got, good, err := DecodeJournal(img)
+	if err != nil {
+		t.Fatalf("clean decode: %v", err)
+	}
+	if good != len(img) {
+		t.Fatalf("good=%d, want %d", good, len(img))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		want := recs[i]
+		want.Seq = uint64(i + 1)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestServiceJournalTornTail pins crash-artifact tolerance: truncating a clean
+// image at EVERY byte offset decodes without panic to an intact prefix of
+// whole records, and the reported good offset is re-decodable and appendable.
+func TestServiceJournalTornTail(t *testing.T) {
+	recs := sampleRecords()
+	img := EncodeJournal(recs)
+	for cut := 0; cut <= len(img); cut++ {
+		torn := img[:cut]
+		got, good, err := DecodeJournal(torn)
+		if good > cut {
+			t.Fatalf("cut %d: good=%d beyond image", cut, good)
+		}
+		if cut == len(img) && err != nil {
+			t.Fatalf("full image decode failed: %v", err)
+		}
+		// Every decoded record must match the original prefix exactly.
+		for i := range got {
+			want := recs[i]
+			want.Seq = uint64(i + 1)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("cut %d record %d mismatch", cut, i)
+			}
+		}
+		// The good prefix must itself decode cleanly (idempotent recovery).
+		again, g2, err2 := DecodeJournal(torn[:good])
+		if err2 != nil || g2 != good || len(again) != len(got) {
+			t.Fatalf("cut %d: good prefix not clean: %v", cut, err2)
+		}
+	}
+}
+
+// TestServiceJournalCorruption flips every byte of a small image (one at a
+// time) and asserts decode never panics, never fabricates extra records, and
+// loses at most the records at or after the corrupted frame.
+func TestServiceJournalCorruption(t *testing.T) {
+	recs := sampleRecords()[:4]
+	img := EncodeJournal(recs)
+	for pos := 0; pos < len(img); pos++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			corrupt := append([]byte(nil), img...)
+			corrupt[pos] ^= bit
+			got, good, _ := DecodeJournal(corrupt)
+			if good > len(corrupt) {
+				t.Fatalf("pos %d: good=%d beyond image", pos, good)
+			}
+			if len(got) > len(recs) {
+				t.Fatalf("pos %d: decoded %d records from corrupt image of %d", pos, len(got), len(recs))
+			}
+			// Records decoded from before the corruption must be untouched.
+			for i := range got {
+				want := recs[i]
+				want.Seq = uint64(i + 1)
+				if !reflect.DeepEqual(got[i], want) && pos >= len(journalMagic) {
+					t.Fatalf("pos %d: surviving record %d altered", pos, i)
+				}
+			}
+		}
+	}
+}
+
+// TestServiceFileJournal pins the file-backed journal end to end: append,
+// reopen, recover, torn-tail truncation, and sequence continuation.
+func TestServiceFileJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, rec, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(rec.Records))
+	}
+	recs := sampleRecords()
+	for i, r := range recs {
+		seq, err := j.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d returned seq %d", i, seq)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate kill -9 mid-write: chop half of the final frame off.
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, img[:len(img)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec2, err := OpenFileJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec2.Err == nil {
+		t.Fatal("torn tail not reported")
+	}
+	if len(rec2.Records) != len(recs)-1 {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), len(recs)-1)
+	}
+	// The torn tail must be truncated so the next append extends a clean image.
+	seq, err := j2.Append(Record{Kind: RecordAdmit, ID: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(len(recs)) {
+		t.Fatalf("sequence after recovery: %d, want %d", seq, len(recs))
+	}
+	img2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeJournal(img2)
+	if err != nil {
+		t.Fatalf("journal not clean after recovery+append: %v", err)
+	}
+	if len(got) != len(recs) || got[len(got)-1].ID != 99 {
+		t.Fatalf("post-recovery image has %d records", len(got))
+	}
+}
+
+// TestServiceMemJournalFrom pins the in-memory fake's recovery semantics
+// against the file implementation's: same prefix keeping, same sequence.
+func TestServiceMemJournalFrom(t *testing.T) {
+	j := NewMemJournal()
+	recs := sampleRecords()
+	for _, r := range recs {
+		if _, err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := j.Bytes()
+	j2, rec := NewMemJournalFrom(img[:len(img)-3])
+	if rec.Err == nil || len(rec.Records) != len(recs)-1 {
+		t.Fatalf("recovered %d records, err %v", len(rec.Records), rec.Err)
+	}
+	seq, err := j2.Append(Record{Kind: RecordAdmit, ID: 7})
+	if err != nil || seq != uint64(len(recs)) {
+		t.Fatalf("seq %d err %v", seq, err)
+	}
+	if _, _, err := DecodeJournal(j2.Bytes()); err != nil {
+		t.Fatalf("image not clean: %v", err)
+	}
+}
+
+// TestServiceFaultJournal pins each injected fault kind's contract: what
+// lands on disk, what error the writer sees, and what the next recovery
+// salvages.
+func TestServiceFaultJournal(t *testing.T) {
+	r := Record{Kind: RecordSubmit, Tenant: "t", App: "a", Graph: "g"}
+
+	t.Run("torn-tail", func(t *testing.T) {
+		inner := NewMemJournal()
+		fj, err := NewFaultJournal(inner, 1, JournalFaultSpec{EveryN: 2, Kinds: []JournalFaultKind{JournalTornTail}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fj.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fj.Append(r); err == nil || !strings.Contains(err.Error(), "torn") {
+			t.Fatalf("torn append err = %v", err)
+		}
+		recs, _, derr := DecodeJournal(inner.Bytes())
+		if derr == nil || len(recs) != 1 {
+			t.Fatalf("recovered %d records, err %v", len(recs), derr)
+		}
+	})
+
+	t.Run("short-write", func(t *testing.T) {
+		inner := NewMemJournal()
+		fj, err := NewFaultJournal(inner, 2, JournalFaultSpec{EveryN: 1, Kinds: []JournalFaultKind{JournalShortWrite}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fj.Append(r); !errors.Is(err, io.ErrShortWrite) {
+			t.Fatalf("short write err = %v", err)
+		}
+		if recs, _, derr := DecodeJournal(inner.Bytes()); derr != nil || len(recs) != 0 {
+			t.Fatalf("short write persisted something: %d records, err %v", len(recs), derr)
+		}
+	})
+
+	t.Run("corrupt-bit", func(t *testing.T) {
+		inner := NewMemJournal()
+		fj, err := NewFaultJournal(inner, 3, JournalFaultSpec{EveryN: 3, Kinds: []JournalFaultKind{JournalCorruptBit}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := fj.Append(r); err != nil {
+				t.Fatalf("append %d: bit rot must be silent, got %v", i, err)
+			}
+		}
+		// The writer saw three successes; recovery catches the rot via CRC.
+		recs, _, derr := DecodeJournal(inner.Bytes())
+		if derr == nil {
+			t.Fatal("corruption not detected at decode")
+		}
+		if len(recs) != 2 {
+			t.Fatalf("recovered %d records, want the 2 intact ones", len(recs))
+		}
+	})
+
+	t.Run("sync-error", func(t *testing.T) {
+		inner := NewMemJournal()
+		fj, err := NewFaultJournal(inner, 4, JournalFaultSpec{EveryN: 1, Kinds: []JournalFaultKind{JournalSyncError}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fj.Append(r); err == nil || !strings.Contains(err.Error(), "fsync") {
+			t.Fatalf("sync err = %v", err)
+		}
+		// Bytes are present (the conservative model) but unacknowledged.
+		if recs, _, derr := DecodeJournal(inner.Bytes()); derr != nil || len(recs) != 1 {
+			t.Fatalf("sync-error image: %d records, err %v", len(recs), derr)
+		}
+	})
+
+	t.Run("deterministic-schedule", func(t *testing.T) {
+		pick := func() []JournalFaultKind {
+			inner := NewMemJournal()
+			fj, err := NewFaultJournal(inner, 9, JournalFaultSpec{EveryN: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var kinds []JournalFaultKind
+			for i := uint64(1); i <= 10; i++ {
+				kinds = append(kinds, fj.faultFor(i))
+			}
+			return kinds
+		}
+		a := pick()
+		if !reflect.DeepEqual(pick(), a) {
+			t.Fatal("schedule not deterministic")
+		}
+		faulted := 0
+		for i, k := range a {
+			if (i+1)%2 == 0 {
+				if k < 0 {
+					t.Fatalf("append %d should fault", i+1)
+				}
+				faulted++
+			} else if k >= 0 {
+				t.Fatalf("append %d should be clean", i+1)
+			}
+		}
+		if faulted != 5 {
+			t.Fatalf("faulted %d of 10", faulted)
+		}
+	})
+
+	t.Run("spec-validation", func(t *testing.T) {
+		if _, err := NewFaultJournal(NewMemJournal(), 0, JournalFaultSpec{EveryN: -1}); err == nil {
+			t.Error("negative EveryN accepted")
+		}
+		if _, err := NewFaultJournal(NewMemJournal(), 0, JournalFaultSpec{Kinds: []JournalFaultKind{99}}); err == nil {
+			t.Error("unknown kind accepted")
+		}
+		if _, err := NewFaultJournal(badJournal{}, 0, JournalFaultSpec{}); err == nil {
+			t.Error("non-raw journal accepted")
+		}
+	})
+}
+
+// badJournal is a Journal without byte-level access.
+type badJournal struct{}
+
+func (badJournal) Append(Record) (uint64, error) { return 0, nil }
+func (badJournal) Close() error                  { return nil }

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"proxygraph/internal/engine"
+	"proxygraph/internal/workload"
+)
+
+// restore replays a decoded journal into a fresh machine, rebuilding tenant
+// budgets, the queue, completed results and the idempotency index, and
+// re-enqueueing every job that was queued or running at crash time.
+//
+// Recovery invariants (see DESIGN.md §Durability and recovery):
+//
+//   - A submit record without its admit record was never acknowledged to the
+//     client (the admit write is the acknowledgement barrier), so it is
+//     dropped — the client's retry with the same idempotency key re-admits it
+//     exactly once.
+//   - Complete records precede their budget-charge records in the journal. A
+//     crash between the two loses only the charge record; restore derives the
+//     charge from the complete record instead, so a tenant is charged exactly
+//     once for every completed job at any crash offset.
+//   - Terminal states are sticky: once a complete/fail/shed record is
+//     replayed, later records for the same id (possible after an unclean
+//     journal swap) are ignored.
+//   - In-flight jobs are re-enqueued with a background context (the original
+//     submitter's context did not survive the crash) and a zero readyAt —
+//     pending retry backoffs collapse, the job is immediately runnable.
+//
+// restore never writes to the journal for replayed transitions (the records
+// are already there); only jobs that cannot be re-resolved get a fresh fail
+// record so the next recovery agrees with this one.
+func (m *machine) restore(recs []Record, resolve func(app, graphName string, seed uint64) (workload.Job, error)) {
+	subs := make(map[int]Record) // submit seq -> record, awaiting its admit
+	charged := make(map[int]bool)
+	maxSeq := 0
+	for _, r := range recs {
+		if int(r.Seq) > maxSeq {
+			maxSeq = int(r.Seq)
+		}
+		switch r.Kind {
+		case RecordSubmit:
+			m.counters.Submitted++
+			subs[int(r.Seq)] = r
+		case RecordAdmit:
+			sub, ok := subs[r.ID]
+			if !ok || m.jobs[r.ID] != nil {
+				continue
+			}
+			ts := m.tenant(sub.Tenant)
+			js := &jobState{
+				id:        r.ID,
+				tenant:    sub.Tenant,
+				priority:  sub.Priority,
+				key:       sub.Key,
+				fp:        sub.Fingerprint,
+				appName:   sub.App,
+				graphName: sub.Graph,
+				seed:      sub.Seed,
+				ctx:       context.Background(),
+				state:     StateQueued,
+				done:      make(chan struct{}),
+			}
+			m.jobs[js.id] = js
+			m.queue = append(m.queue, js)
+			ts.queued++
+			if js.key != "" {
+				m.idem[js.key] = js
+			}
+			m.counters.Admitted++
+		case RecordStart:
+			if js := m.jobs[r.ID]; js != nil && !js.terminal() {
+				js.attempts = r.Attempt
+			}
+		case RecordRetry:
+			if js := m.jobs[r.ID]; js != nil && !js.terminal() {
+				js.attempts = r.Attempt
+				m.counters.Retries++
+			}
+		case RecordComplete:
+			js := m.jobs[r.ID]
+			if js == nil || js.terminal() {
+				continue
+			}
+			m.removeQueued(js)
+			js.state = StateDone
+			js.attempts = r.Attempt
+			js.result = &engine.Result{SimSeconds: r.Seconds, EnergyJoules: r.Energy}
+			js.ingress = r.Ingress
+			js.cacheHit = r.Flag
+			m.counters.Completed++
+			m.counters.RecoveredDone++
+			m.finish(js)
+		case RecordBudgetCharge:
+			if m.jobs[r.ID] == nil || charged[r.ID] {
+				continue
+			}
+			charged[r.ID] = true
+			ts := m.tenant(r.Tenant)
+			ts.spentSeconds += r.Seconds
+			ts.spentJoules += r.Energy
+		case RecordFail:
+			js := m.jobs[r.ID]
+			if js == nil || js.terminal() {
+				continue
+			}
+			m.removeQueued(js)
+			js.state = StateFailed
+			js.attempts = r.Attempt
+			js.err = errors.New(r.Error)
+			m.counters.Failed++
+			m.counters.RecoveredDone++
+			m.finish(js)
+		case RecordShed:
+			js := m.jobs[r.ID]
+			if js == nil || js.terminal() {
+				continue
+			}
+			m.removeQueued(js)
+			if r.Error == shedReasonCanceled {
+				js.state = StateCanceled
+				js.err = ErrClosed
+				m.counters.Canceled++
+			} else {
+				js.state = StateShed
+				js.err = fmt.Errorf("service: shed (%s)", r.Error)
+				if r.Error == "deadline" {
+					m.counters.ShedDeadline++
+				} else {
+					m.counters.ShedPriority++
+				}
+			}
+			m.counters.RecoveredDone++
+			m.finish(js)
+		}
+	}
+
+	// Derive the budget charge for any completed job whose paired charge
+	// record was lost to the crash. complete() always writes the two records
+	// adjacently under the machine lock, so a prefix cut can orphan at most
+	// the tail pair — but the derivation is written to handle any number.
+	for id, js := range m.jobs {
+		if js.state == StateDone && !charged[id] {
+			ts := m.tenant(js.tenant)
+			ts.spentSeconds += js.ingress + js.result.SimSeconds
+			ts.spentJoules += js.result.EnergyJoules
+		}
+	}
+
+	// Re-resolve the workload for every job going back into the queue. The
+	// journal stores identity (app, graph, seed), not the graph itself —
+	// resolution rebuilds or looks up the actual job. Unresolvable jobs fail
+	// loudly instead of haunting the queue.
+	for _, js := range append([]*jobState(nil), m.queue...) {
+		var job workload.Job
+		err := errors.New("service: no Resolve configured")
+		if resolve != nil {
+			job, err = resolve(js.appName, js.graphName, js.seed)
+		}
+		if err != nil {
+			m.removeQueued(js)
+			js.state = StateFailed
+			js.err = fmt.Errorf("service: unresolvable after recovery (app %q graph %q): %w", js.appName, js.graphName, err)
+			m.counters.Failed++
+			m.journalBest(Record{Kind: RecordFail, ID: js.id, Attempt: js.attempts, Error: js.err.Error()})
+			m.finish(js)
+			continue
+		}
+		js.job = job
+		m.counters.RecoveredRequeued++
+	}
+
+	// Ids continue after the highest replayed sequence even if the journal
+	// was swapped for a fresh one, so recovered status URLs stay unique.
+	if maxSeq > m.nextID {
+		m.nextID = maxSeq
+	}
+}

@@ -90,7 +90,7 @@ func Replay(cfg Config, arrivals []Arrival) (*ReplayReport, error) {
 			if a.DeadlineSeconds > 0 {
 				deadline = a.AtSeconds + a.DeadlineSeconds
 			}
-			if _, err := m.submit(a.AtSeconds, a.Tenant, a.Job, nil, deadline); err != nil {
+			if _, _, err := m.submit(a.AtSeconds, a.Tenant, "", a.Job, nil, deadline); err != nil {
 				rep.Rejections[next] = verdict(err)
 			}
 			next++

@@ -69,6 +69,24 @@ type Config struct {
 	Workers int
 	// Seed drives the backoff jitter (and nothing else).
 	Seed uint64
+	// Journal, when non-nil, receives a durable write-ahead record of every
+	// control-plane transition. Admission is strict: a submission whose
+	// submit/admit records cannot be written is rejected and the service
+	// flips to degraded mode. Job ids become the journal sequence numbers of
+	// their submit records, so they stay stable across crash and recovery.
+	// Use OpenFileJournal for a real file, NewMemJournal for tests.
+	Journal Journal
+	// Recovery, when non-nil, is a decoded journal (from Recover or
+	// OpenFileJournal) replayed into the state machine before the workers
+	// start: terminal jobs are rebuilt with their results and budget charges,
+	// in-flight and queued jobs are re-enqueued.
+	Recovery *Recovery
+	// Resolve maps a recovered submit record's (app, graph, seed) identity
+	// back to a runnable workload.Job so re-enqueued jobs can execute.
+	// Recovered in-flight jobs that fail to resolve (nil Resolve, unknown
+	// app/graph) are marked failed rather than silently dropped; terminal
+	// jobs never need resolving.
+	Resolve func(app, graphName string, seed uint64) (workload.Job, error)
 }
 
 // Validate reports the configuration errors normalize would: a missing
@@ -174,6 +192,14 @@ func New(cfg Config) (*Service, error) {
 		start: time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	// Replay the recovered journal into the machine before any worker can
+	// observe the queue: recovered in-flight jobs are runnable the moment the
+	// pool starts.
+	if cfg.Recovery != nil {
+		s.m.restore(cfg.Recovery.Records, cfg.Resolve)
+		s.m.emit(trace.Event{Kind: trace.KindJournal, Machine: -1,
+			Step: len(cfg.Recovery.Records), Label: "recover"})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -190,6 +216,15 @@ func (s *Service) now() float64 { return time.Since(s.start).Seconds() }
 // return a typed error (ErrOverloaded, ErrCircuitOpen, ErrBudgetExhausted,
 // ErrClosed) without creating a job.
 func (s *Service) Submit(ctx context.Context, tenant string, job workload.Job) (int, error) {
+	return s.SubmitKey(ctx, tenant, "", job)
+}
+
+// SubmitKey is Submit with a client-supplied idempotency key. A non-empty key
+// makes the submission safe to retry: resubmitting the same job with the same
+// key — after a client timeout, an HTTP retry, or a service crash and
+// recovery — returns the original job's id instead of executing and charging
+// it twice. Reusing a key for different work fails with ErrKeyConflict.
+func (s *Service) SubmitKey(ctx context.Context, tenant, key string, job workload.Job) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -198,12 +233,23 @@ func (s *Service) Submit(ctx context.Context, tenant string, job workload.Job) (
 	if s.closed {
 		return 0, ErrClosed
 	}
-	js, err := s.m.submit(s.now(), tenant, job, ctx, 0)
+	js, dup, err := s.m.submit(s.now(), tenant, key, job, ctx, 0)
 	if err != nil {
 		return 0, err
 	}
-	s.cond.Broadcast()
+	if !dup {
+		s.cond.Broadcast()
+	}
 	return js.id, nil
+}
+
+// Degraded reports whether the service is in degraded mode (a journal write
+// failed, so new submissions are rejected while admitted work drains) and the
+// error that caused it.
+func (s *Service) Degraded() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.degraded, s.m.degradedErr
 }
 
 // worker pulls dispatchable jobs until the service closes. Backoff and

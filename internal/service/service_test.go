@@ -209,22 +209,22 @@ func TestServiceAdmissionControl(t *testing.T) {
 	job := workload.Job{}
 
 	// bronze fills its per-tenant bound of 2.
-	b1, err := m.submit(0, "bronze", job, nil, 0)
+	b1, _, err := m.submit(0, "bronze", "", job, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.submit(0, "bronze", job, nil, 0); err != nil {
+	if _, _, err := m.submit(0, "bronze", "", job, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.submit(0, "bronze", job, nil, 0); !errors.Is(err, ErrOverloaded) {
+	if _, _, err := m.submit(0, "bronze", "", job, nil, 0); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("tenant bound: got %v", err)
 	}
 	// gold takes the last global slot...
-	if _, err := m.submit(0, "gold", job, nil, 0); err != nil {
+	if _, _, err := m.submit(0, "gold", "", job, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	// ...then sheds the oldest bronze job for the next gold arrival.
-	g2, err := m.submit(0, "gold", job, nil, 0)
+	g2, _, err := m.submit(0, "gold", "", job, nil, 0)
 	if err != nil {
 		t.Fatalf("priority arrival should shed, got %v", err)
 	}
@@ -235,7 +235,7 @@ func TestServiceAdmissionControl(t *testing.T) {
 		t.Fatalf("gold job state %s", g2.state)
 	}
 	// gold cannot shed gold: at its own per-tenant bound it is rejected.
-	if _, err := m.submit(0, "gold", job, nil, 0); !errors.Is(err, ErrOverloaded) {
+	if _, _, err := m.submit(0, "gold", "", job, nil, 0); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("equal-priority overload: got %v", err)
 	}
 	c := m.counters
@@ -271,7 +271,7 @@ func TestServiceBreaker(t *testing.T) {
 	m := newMachine(cfg)
 	job := workload.Job{}
 	failOnce := func(now float64) {
-		js, err := m.submit(now, "t", job, nil, 0)
+		js, _, err := m.submit(now, "t", "", job, nil, 0)
 		if err != nil {
 			t.Fatalf("submit at %g: %v", now, err)
 		}
@@ -287,15 +287,15 @@ func TestServiceBreaker(t *testing.T) {
 	if ts := m.tenant("t"); ts.breaker != breakerOpen {
 		t.Fatalf("breaker state %d, want open", ts.breaker)
 	}
-	if _, err := m.submit(2, "t", job, nil, 0); !errors.Is(err, ErrCircuitOpen) {
+	if _, _, err := m.submit(2, "t", "", job, nil, 0); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("open breaker admitted: %v", err)
 	}
 	// Cooldown elapses: one probe admitted, a second rejected while it runs.
-	probe, err := m.submit(7, "t", job, nil, 0)
+	probe, _, err := m.submit(7, "t", "", job, nil, 0)
 	if err != nil {
 		t.Fatalf("half-open probe rejected: %v", err)
 	}
-	if _, err := m.submit(7, "t", job, nil, 0); !errors.Is(err, ErrCircuitOpen) {
+	if _, _, err := m.submit(7, "t", "", job, nil, 0); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("second probe admitted: %v", err)
 	}
 	// Failed probe re-opens and counts a trip.
@@ -307,7 +307,7 @@ func TestServiceBreaker(t *testing.T) {
 		t.Fatal("failed probe did not re-open breaker")
 	}
 	// Next cooldown: successful probe closes.
-	probe2, err := m.submit(13, "t", job, nil, 0)
+	probe2, _, err := m.submit(13, "t", "", job, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestServiceBudget(t *testing.T) {
 	})
 	m := newMachine(cfg)
 	job := workload.Job{}
-	js, err := m.submit(0, "metered", job, nil, 0)
+	js, _, err := m.submit(0, "metered", "", job, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestServiceBudget(t *testing.T) {
 	}
 	m.complete(0, js, &workload.JobResult{Exec: &engine.Result{SimSeconds: 0.6}, IngressSeconds: 0.3})
 	// 0.9s spent: still under budget.
-	js2, err := m.submit(1, "metered", job, nil, 0)
+	js2, _, err := m.submit(1, "metered", "", job, nil, 0)
 	if err != nil {
 		t.Fatalf("under-budget submit rejected: %v", err)
 	}
@@ -350,7 +350,7 @@ func TestServiceBudget(t *testing.T) {
 	}
 	m.complete(1, js2, &workload.JobResult{Exec: &engine.Result{SimSeconds: 0.5}})
 	// 1.4s spent >= 1.0 cap: cut off.
-	if _, err := m.submit(2, "metered", job, nil, 0); !errors.Is(err, ErrBudgetExhausted) {
+	if _, _, err := m.submit(2, "metered", "", job, nil, 0); !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("over-budget submit: %v", err)
 	}
 	if m.counters.RejectedBudget != 1 {

@@ -46,6 +46,14 @@ var (
 	ErrClosed = errors.New("service: closed")
 	// ErrUnknownJob reports a Status/Wait lookup for an id never issued.
 	ErrUnknownJob = errors.New("service: unknown job id")
+	// ErrDegraded rejects submissions while the service is in degraded mode:
+	// a journal write failed, so new work cannot be made durable. Admitted
+	// work keeps draining; only admission is shed. See DESIGN.md §Durability.
+	ErrDegraded = errors.New("service: degraded, journal write failed")
+	// ErrKeyConflict rejects a submission whose idempotency key is already
+	// bound to a different job (the fingerprints disagree) — reusing a key
+	// for new work is a client bug, not a retry.
+	ErrKeyConflict = errors.New("service: idempotency key bound to a different job")
 )
 
 // State is a job's lifecycle position.
@@ -118,6 +126,15 @@ type Counters struct {
 	Completed, Failed, Canceled uint64
 	// BreakerTrips counts closed→open transitions across tenants.
 	BreakerTrips uint64
+	// Deduped counts submissions answered by an existing job via its
+	// idempotency key; RejectedDegraded submissions shed in degraded mode.
+	Deduped, RejectedDegraded uint64
+	// JournalAppends counts records made durable; JournalErrors failed writes
+	// (the first one flips degraded mode, so this is effectively 0 or 1).
+	JournalAppends, JournalErrors uint64
+	// RecoveredDone and RecoveredRequeued count jobs rebuilt from the journal
+	// at startup: already-terminal ones and in-flight ones re-enqueued.
+	RecoveredDone, RecoveredRequeued uint64
 }
 
 // breaker states.
@@ -147,6 +164,17 @@ type jobState struct {
 	tenant   string
 	priority int
 	job      workload.Job
+
+	// key is the client-supplied idempotency key ("" = none); fp the job's
+	// content fingerprint, used to detect key reuse for different work.
+	key string
+	fp  uint64
+	// appName/graphName/seed identify the job durably: a recovered terminal
+	// job never re-resolves its workload.Job, so status() must not reach
+	// through js.job.
+	appName   string
+	graphName string
+	seed      uint64
 
 	// ctx is the submitter's context (live service only; nil in replays).
 	ctx context.Context
@@ -187,6 +215,14 @@ type machine struct {
 	counters Counters
 	// queueWaits collects every dispatch's wait for percentile reporting.
 	queueWaits []float64
+	// idem maps idempotency keys to their job: a resubmission with a known
+	// key returns the existing job instead of double-executing it.
+	idem map[string]*jobState
+	// degraded flips on the first journal write error: new submissions are
+	// rejected (durability can no longer be promised) while admitted work
+	// drains, and further journal writes are skipped.
+	degraded    bool
+	degradedErr error
 }
 
 func newMachine(cfg Config) *machine {
@@ -194,6 +230,7 @@ func newMachine(cfg Config) *machine {
 		cfg:     cfg,
 		tenants: make(map[string]*tenantState),
 		jobs:    make(map[int]*jobState),
+		idem:    make(map[string]*jobState),
 	}
 	for _, t := range cfg.Tenants {
 		m.tenants[t.Name] = &tenantState{Tenant: t}
@@ -219,10 +256,82 @@ func (m *machine) emit(e trace.Event) {
 	}
 }
 
+// degrade flips the service into degraded mode after a journal write error.
+// It never panics and never loses in-memory state: admitted work drains,
+// new submissions are rejected with ErrDegraded until the operator restarts
+// the process against a healthy journal.
+func (m *machine) degrade(err error) {
+	if m.degraded {
+		return
+	}
+	m.degraded = true
+	m.degradedErr = err
+	m.counters.JournalErrors++
+	m.emit(trace.Event{Kind: trace.KindJournal, Machine: -1, Label: "error"})
+	m.emit(trace.Event{Kind: trace.KindDegraded, Machine: -1, Label: "journal-error"})
+}
+
+// journalBest appends a record if journaling is enabled and healthy, flipping
+// degraded mode on error. It is the best-effort path used for lifecycle
+// records (start/retry/complete/fail/shed/charge): the in-memory transition
+// proceeds regardless, because the work already exists — only *new* work is
+// refused once durability is gone (see submit).
+func (m *machine) journalBest(r Record) {
+	if m.cfg.Journal == nil || m.degraded {
+		return
+	}
+	if _, err := m.cfg.Journal.Append(r); err != nil {
+		m.degrade(err)
+		return
+	}
+	m.counters.JournalAppends++
+	m.emit(trace.Event{Kind: trace.KindJournal, Machine: -1, Step: r.ID, Label: r.Kind.String()})
+}
+
+// jobNames extracts the durable identity fields from a job; both are empty
+// for the zero Job used by policy-only tests.
+func jobNames(job workload.Job) (app, graphName string) {
+	if job.App != nil {
+		app = job.App.Name()
+	}
+	if job.Graph != nil {
+		graphName = job.Graph.Name
+	}
+	return app, graphName
+}
+
 // submit runs the admission pipeline at clock value now. On admission the
-// returned job is queued; otherwise the typed error names the verdict.
-func (m *machine) submit(now float64, tenant string, job workload.Job, ctx context.Context, deadline float64) (*jobState, error) {
+// returned job is queued; otherwise the typed error names the verdict. A
+// non-empty key makes the submission idempotent: resubmitting the same work
+// with the same key returns the original job (dup=true) instead of creating,
+// executing and charging a second one.
+func (m *machine) submit(now float64, tenant, key string, job workload.Job, ctx context.Context, deadline float64) (js *jobState, dup bool, err error) {
 	m.counters.Submitted++
+
+	// Idempotent resubmission: answered before any admission check, because
+	// the original admission verdict already happened — a dedup hit must not
+	// be double-counted, double-charged, or rejected by a now-full queue.
+	fp := job.Fingerprint()
+	if key != "" {
+		if prev, ok := m.idem[key]; ok {
+			if prev.fp != fp {
+				m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Step: prev.id, Label: "reject-key-conflict"})
+				return nil, false, fmt.Errorf("%w (key %q is job %d)", ErrKeyConflict, key, prev.id)
+			}
+			m.counters.Deduped++
+			m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Step: prev.id, Label: "dedup"})
+			return prev, true, nil
+		}
+	}
+
+	// Degraded mode: the journal can no longer record new work, so admitting
+	// it would silently break the durability contract. Shed at the door.
+	if m.degraded {
+		m.counters.RejectedDegraded++
+		m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-degraded"})
+		return nil, false, fmt.Errorf("%w: %v", ErrDegraded, m.degradedErr)
+	}
+
 	ts := m.tenant(tenant)
 
 	// Circuit breaker: open rejects until the cooldown elapses; the first
@@ -233,7 +342,7 @@ func (m *machine) submit(now float64, tenant string, job workload.Job, ctx conte
 			if now-ts.openedAt < m.cfg.BreakerCooldown {
 				m.counters.RejectedBreaker++
 				m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-breaker"})
-				return nil, fmt.Errorf("%w (tenant %q, %.2fs into cooldown)", ErrCircuitOpen, tenant, now-ts.openedAt)
+				return nil, false, fmt.Errorf("%w (tenant %q, %.2fs into cooldown)", ErrCircuitOpen, tenant, now-ts.openedAt)
 			}
 			ts.breaker = breakerHalfOpen
 			ts.probeRunning = false
@@ -242,7 +351,7 @@ func (m *machine) submit(now float64, tenant string, job workload.Job, ctx conte
 			if ts.probeRunning {
 				m.counters.RejectedBreaker++
 				m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-breaker"})
-				return nil, fmt.Errorf("%w (tenant %q, probe in flight)", ErrCircuitOpen, tenant)
+				return nil, false, fmt.Errorf("%w (tenant %q, probe in flight)", ErrCircuitOpen, tenant)
 			}
 		}
 	}
@@ -255,7 +364,7 @@ func (m *machine) submit(now float64, tenant string, job workload.Job, ctx conte
 		(ts.Budget.EnergyJoules > 0 && ts.spentJoules >= ts.Budget.EnergyJoules) {
 		m.counters.RejectedBudget++
 		m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-budget"})
-		return nil, fmt.Errorf("%w (tenant %q spent %.3fs / %.1fJ)", ErrBudgetExhausted, tenant, ts.spentSeconds, ts.spentJoules)
+		return nil, false, fmt.Errorf("%w (tenant %q spent %.3fs / %.1fJ)", ErrBudgetExhausted, tenant, ts.spentSeconds, ts.spentJoules)
 	}
 
 	// Per-tenant bound: a tenant flooding its own queue is rejected without
@@ -263,7 +372,7 @@ func (m *machine) submit(now float64, tenant string, job workload.Job, ctx conte
 	if ts.queued >= m.cfg.TenantQueueBound {
 		m.counters.RejectedOverload++
 		m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-overload"})
-		return nil, fmt.Errorf("%w (tenant %q queue at bound %d)", ErrOverloaded, tenant, m.cfg.TenantQueueBound)
+		return nil, false, fmt.Errorf("%w (tenant %q queue at bound %d)", ErrOverloaded, tenant, m.cfg.TenantQueueBound)
 	}
 
 	// Global bound: shed the lowest-priority queued job if the arrival
@@ -273,17 +382,62 @@ func (m *machine) submit(now float64, tenant string, job workload.Job, ctx conte
 		if victim == nil {
 			m.counters.RejectedOverload++
 			m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-overload"})
-			return nil, fmt.Errorf("%w (global queue at bound %d)", ErrOverloaded, m.cfg.QueueBound)
+			return nil, false, fmt.Errorf("%w (global queue at bound %d)", ErrOverloaded, m.cfg.QueueBound)
 		}
 		m.shed(victim, "priority")
+		if m.degraded {
+			// Journaling the shed failed — the service degraded mid-admission.
+			m.counters.RejectedDegraded++
+			m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Label: "reject-degraded"})
+			return nil, false, fmt.Errorf("%w: %v", ErrDegraded, m.degradedErr)
+		}
 	}
 
-	m.nextID++
-	js := &jobState{
-		id:          m.nextID,
+	// Durable admission: the job's id IS its submit record's journal sequence
+	// number, so status URLs stay valid across crash and recovery. The admit
+	// record after it is the acknowledgement barrier — a submit whose admit
+	// never made it to disk was never acknowledged to the client, and recovery
+	// drops it. Both writes are strict: if either fails the submission is
+	// rejected and the service degrades, because accepting work that cannot
+	// be made durable would silently break the contract.
+	appName, graphName := jobNames(job)
+	var id int
+	if m.cfg.Journal != nil {
+		seq, err := m.cfg.Journal.Append(Record{
+			Kind: RecordSubmit, Tenant: tenant, App: appName, Graph: graphName,
+			Seed: job.Seed, Key: key, Fingerprint: fp, Priority: ts.Priority,
+		})
+		if err != nil {
+			m.degrade(err)
+			return nil, false, fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+		m.counters.JournalAppends++
+		id = int(seq)
+		if id <= m.nextID { // monotonic guard (journal swapped mid-flight)
+			id = m.nextID + 1
+		}
+		m.nextID = id
+		if _, err := m.cfg.Journal.Append(Record{Kind: RecordAdmit, ID: id}); err != nil {
+			m.degrade(err)
+			return nil, false, fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+		m.counters.JournalAppends++
+		m.emit(trace.Event{Kind: trace.KindJournal, Machine: -1, Step: id, Label: RecordSubmit.String()})
+		m.emit(trace.Event{Kind: trace.KindJournal, Machine: -1, Step: id, Label: RecordAdmit.String()})
+	} else {
+		m.nextID++
+		id = m.nextID
+	}
+	js = &jobState{
+		id:          id,
 		tenant:      tenant,
 		priority:    ts.Priority,
 		job:         job,
+		key:         key,
+		fp:          fp,
+		appName:     appName,
+		graphName:   graphName,
+		seed:        job.Seed,
 		ctx:         ctx,
 		deadline:    deadline,
 		state:       StateQueued,
@@ -295,12 +449,15 @@ func (m *machine) submit(now float64, tenant string, job workload.Job, ctx conte
 	m.jobs[js.id] = js
 	m.queue = append(m.queue, js)
 	ts.queued++
+	if key != "" {
+		m.idem[key] = js
+	}
 	if m.cfg.BreakerThreshold > 0 && ts.breaker == breakerHalfOpen {
 		ts.probeRunning = true
 	}
 	m.counters.Admitted++
 	m.emit(trace.Event{Kind: trace.KindAdmit, Machine: -1, Step: js.id, Label: "admit"})
-	return js, nil
+	return js, false, nil
 }
 
 // shedCandidate returns the queued job load shedding would evict for an
@@ -320,6 +477,11 @@ func (m *machine) shedCandidate(arriving int) *jobState {
 	return victim
 }
 
+// shedReasonCanceled is the RecordShed reason distinguishing shutdown
+// cancellation from load shedding in the journal; recovery maps it back to
+// StateCanceled.
+const shedReasonCanceled = "canceled"
+
 // shed evicts a queued job with the given reason ("priority" or "deadline").
 func (m *machine) shed(js *jobState, reason string) {
 	m.removeQueued(js)
@@ -330,6 +492,7 @@ func (m *machine) shed(js *jobState, reason string) {
 	} else {
 		m.counters.ShedPriority++
 	}
+	m.journalBest(Record{Kind: RecordShed, ID: js.id, Error: reason})
 	m.emit(trace.Event{Kind: trace.KindShed, Machine: -1, Step: js.id, Label: reason})
 	m.finish(js)
 }
@@ -395,6 +558,7 @@ func (m *machine) dispatch(now float64) (js *jobState, wait float64) {
 	m.removeQueued(best)
 	best.state = StateRunning
 	m.running++
+	m.journalBest(Record{Kind: RecordStart, ID: best.id, Attempt: best.attempts})
 	w := now - best.enqueuedAt
 	best.queueWait += w
 	m.queueWaits = append(m.queueWaits, w)
@@ -414,6 +578,18 @@ func (m *machine) complete(now float64, js *jobState, jr *workload.JobResult) {
 	ts.spentJoules += jr.Exec.EnergyJoules
 	m.running--
 	m.counters.Completed++
+	// Complete before charge, always in that order: recovery derives the
+	// missing charge from the complete record if the crash lands between
+	// them, so a tenant is never double-charged at any journal offset.
+	m.journalBest(Record{
+		Kind: RecordComplete, ID: js.id, Attempt: js.attempts,
+		Seconds: jr.Exec.SimSeconds, Ingress: jr.IngressSeconds,
+		Energy: jr.Exec.EnergyJoules, Flag: jr.CacheHit,
+	})
+	m.journalBest(Record{
+		Kind: RecordBudgetCharge, ID: js.id, Tenant: js.tenant,
+		Seconds: jr.IngressSeconds + jr.Exec.SimSeconds, Energy: jr.Exec.EnergyJoules,
+	})
 	if m.cfg.BreakerThreshold > 0 {
 		ts.consecFails = 0
 		if ts.breaker != breakerClosed {
@@ -441,11 +617,13 @@ func (m *machine) fail(now float64, js *jobState, err error, retryable bool) {
 		m.queue = append(m.queue, js)
 		m.tenant(js.tenant).queued++
 		m.counters.Retries++
+		m.journalBest(Record{Kind: RecordRetry, ID: js.id, Attempt: js.attempts, Seconds: backoff})
 		m.emit(trace.Event{Kind: trace.KindRetry, Machine: -1, Step: js.id, Resume: js.attempts, Label: js.tenant, Seconds: backoff})
 		return
 	}
 	js.state = StateFailed
 	m.counters.Failed++
+	m.journalBest(Record{Kind: RecordFail, ID: js.id, Attempt: js.attempts, Error: err.Error()})
 	ts := m.tenant(js.tenant)
 	if m.cfg.BreakerThreshold > 0 {
 		ts.consecFails++
@@ -483,6 +661,7 @@ func (m *machine) cancelQueued() {
 		js.state = StateCanceled
 		js.err = ErrClosed
 		m.counters.Canceled++
+		m.journalBest(Record{Kind: RecordShed, ID: js.id, Error: shedReasonCanceled})
 		m.finish(js)
 	}
 	m.queue = nil
@@ -500,6 +679,8 @@ type JobStatus struct {
 	Priority int     `json:"priority"`
 	State    string  `json:"state"`
 	Attempts int     `json:"attempts"`
+	// Key is the client-supplied idempotency key, if any.
+	Key string `json:"idempotency_key,omitempty"`
 	// QueueWaitSeconds accumulates the waits of every dispatch (clock units
 	// of the driver: wall seconds live, simulated seconds in replay).
 	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
@@ -517,16 +698,15 @@ func (m *machine) status(js *jobState) JobStatus {
 	st := JobStatus{
 		ID:               js.id,
 		Tenant:           js.tenant,
-		App:              js.job.App.Name(),
+		App:              js.appName,
+		Graph:            js.graphName,
 		Priority:         js.priority,
 		State:            js.state.String(),
 		Attempts:         js.attempts,
+		Key:              js.key,
 		QueueWaitSeconds: js.queueWait,
 		IngressSeconds:   js.ingress,
 		CacheHit:         js.cacheHit,
-	}
-	if js.job.Graph != nil {
-		st.Graph = js.job.Graph.Name
 	}
 	if js.result != nil {
 		st.ExecSeconds = js.result.SimSeconds

@@ -104,5 +104,12 @@ func (o *Observer) Event(e Event) {
 	case KindBreaker:
 		r.Counter("proxygraph_breaker_transitions_total", "Circuit-breaker state transitions.",
 			"transition", e.Label).Inc()
+	case KindJournal:
+		r.Counter("proxygraph_journal_events_total", "Write-ahead journal activity by kind.",
+			"kind", e.Label).Inc()
+	case KindDegraded:
+		r.Counter("proxygraph_degraded_total", "Transitions into degraded (shedding) mode.",
+			"cause", e.Label).Inc()
+		r.Gauge("proxygraph_degraded", "1 while the job service is in degraded mode.").Set(1)
 	}
 }

@@ -77,6 +77,15 @@ const (
 	// KindBreaker is a circuit-breaker transition for one tenant: Label is
 	// "trip", "half-open" or "close".
 	KindBreaker
+	// KindJournal is write-ahead journal activity in the job service: Label
+	// is a record kind ("submit", "admit", "start", "retry", "complete",
+	// "fail", "shed", "budget-charge") for appends, "error" for a failed
+	// write, or "recover" for the startup replay (Step then carries the
+	// number of records replayed).
+	KindJournal
+	// KindDegraded marks the service flipping into degraded (read-only /
+	// shedding) mode after a journal write failure: Label names the cause.
+	KindDegraded
 )
 
 var kindNames = [...]string{
@@ -95,6 +104,8 @@ var kindNames = [...]string{
 	KindRetry:       "retry",
 	KindShed:        "shed",
 	KindBreaker:     "breaker",
+	KindJournal:     "journal",
+	KindDegraded:    "degraded",
 }
 
 // String names the kind for logs and exporters.

@@ -48,7 +48,6 @@ type PlacementCache struct {
 
 	hits, misses, evictions uint64
 	ingressWall             time.Duration
-	graphFP                 sync.Map // *graph.Graph -> uint64; graphs are immutable
 }
 
 // cacheKey is the content fingerprint of one ingress invocation.
@@ -228,32 +227,12 @@ func (c *PlacementCache) key(part partition.Partitioner, g *graph.Graph, shares 
 		sharesFP = rng.Hash2(sharesFP, math.Float64bits(s))
 	}
 	return cacheKey{
-		graphFP:  c.graphFingerprint(g),
+		graphFP:  GraphFingerprint(g),
 		partFP:   partitionerFingerprint(part),
 		sharesFP: sharesFP,
 		seed:     seed,
 		machines: len(shares),
 	}
-}
-
-// graphFingerprint hashes the graph's content (vertex count, edge list,
-// weights), memoized per *graph.Graph — graphs in this repository are
-// immutable after construction, so the pointer is a sound memo key while the
-// content hash keeps distinct graphs at the same address from colliding
-// across cache lifetimes.
-func (c *PlacementCache) graphFingerprint(g *graph.Graph) uint64 {
-	if fp, ok := c.graphFP.Load(g); ok {
-		return fp.(uint64)
-	}
-	h := rng.Hash2(0x67726170 /* "grap" domain */, uint64(g.NumVertices))
-	for _, e := range g.Edges {
-		h = rng.Hash3(h, uint64(e.Src), uint64(e.Dst))
-	}
-	for _, w := range g.Weights {
-		h = rng.Hash2(h, uint64(math.Float32bits(w)))
-	}
-	c.graphFP.Store(g, h)
-	return h
 }
 
 // partitionerFingerprint identifies the algorithm and its parameters. The

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"math"
+	"sync"
+
+	"proxygraph/internal/graph"
+	"proxygraph/internal/rng"
+)
+
+// graphFPs memoizes content fingerprints per *graph.Graph. Graphs in this
+// repository are immutable after construction, so the pointer is a sound memo
+// key while the content hash keeps distinct graphs at the same address from
+// colliding across process lifetimes (the hash, not the pointer, is what ends
+// up in cache keys, journals and idempotency checks).
+var graphFPs sync.Map // *graph.Graph -> uint64
+
+// GraphFingerprint hashes a graph's content (vertex count, edge list,
+// weights) into a stable 64-bit fingerprint, memoized per pointer. A nil
+// graph fingerprints to 0.
+func GraphFingerprint(g *graph.Graph) uint64 {
+	if g == nil {
+		return 0
+	}
+	if fp, ok := graphFPs.Load(g); ok {
+		return fp.(uint64)
+	}
+	h := rng.Hash2(0x67726170 /* "grap" domain */, uint64(g.NumVertices))
+	for _, e := range g.Edges {
+		h = rng.Hash3(h, uint64(e.Src), uint64(e.Dst))
+	}
+	for _, w := range g.Weights {
+		h = rng.Hash2(h, uint64(math.Float32bits(w)))
+	}
+	graphFPs.Store(g, h)
+	return h
+}
+
+// Fingerprint is the job's content identity: app name, graph content and
+// partitioning seed. Two jobs with equal fingerprints perform the same work,
+// which is what idempotent resubmission needs to decide whether a reused
+// idempotency key is a retry of the same job or a client bug. The zero Job
+// fingerprints deterministically too (empty app, nil graph).
+func (j Job) Fingerprint() uint64 {
+	app := ""
+	if j.App != nil {
+		app = j.App.Name()
+	}
+	h := rng.Hash2(0x6a6f6266 /* "jobf" domain */, rng.HashString(app))
+	h = rng.Hash2(h, GraphFingerprint(j.Graph))
+	return rng.Hash2(h, j.Seed)
+}
