@@ -14,13 +14,15 @@ test:
 # service's worker pool, including the fault-recovery paths exercised by the
 # chaos suite) or are otherwise concurrency-sensitive (the metrics registry),
 # the ingress differential test pinning the parallel partitioners to their
-# sequential specs, the overload golden file pinning the service control
-# plane byte-for-byte, and a short fuzz pass over every decoder/encoder
-# boundary.
+# sequential specs, the batched-BFS differential suite pinning the 64-lane
+# packed traversal to 64 scalar runs at -cpu 1,2,4, the overload golden file
+# pinning the service control plane byte-for-byte, and a short fuzz pass over
+# every decoder/encoder boundary plus the packed-traversal property fuzzer.
 check:
 	go vet ./...
 	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace ./internal/workload ./internal/service
 	go test -race -cpu 1,2,4 -run TestParallelEngineWorkerCountInvariance ./internal/apps
+	go test -race -cpu 1,2,4 -run TestClusterBFS ./internal/apps
 	go test -run 'TestIngressDifferential|TestCompileBlocksParallelMatchesSequential' ./internal/partition ./internal/engine
 	go test -run 'TestIngressAllocs|TestHybridShardedBytesRegression' ./internal/partition
 	go test -run 'TestGoldenTables/overload' ./internal/exp
@@ -35,6 +37,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzPrometheus -fuzztime $(FUZZTIME) ./internal/trace
 	go test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime $(FUZZTIME) ./internal/engine
 	go test -run '^$$' -fuzz FuzzDecodeJournal -fuzztime $(FUZZTIME) ./internal/service
+	go test -run '^$$' -fuzz FuzzClusterBFS -fuzztime $(FUZZTIME) ./internal/apps
 
 # crash-smoke runs the end-to-end crash-restart check: a journaling serve
 # process is kill -9'd mid-life and restarted; status URLs, idempotency keys

@@ -302,3 +302,14 @@ func BenchmarkRecoveryStudy(b *testing.B) {
 		emit(b, "recovery", t)
 	}
 }
+
+func BenchmarkClusterBFSStudy(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		t, err := lab.ClusterBFSStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit(b, "clusterbfs", t)
+	}
+}

@@ -71,6 +71,7 @@ func experiments() []experiment {
 		{"amortization", "one-time profiling cost vs session gains", one((*exp.Lab).AmortizationStudy)},
 		{"session", "placement cache vs rebuilt ingress, charged sessions", one((*exp.Lab).SessionThroughputStudy)},
 		{"recovery", "checkpoint interval vs crash-recovery cost", one((*exp.Lab).RecoveryStudy)},
+		{"clusterbfs", "proxy-predicted vs measured placement for bitset-state batched traversal", one((*exp.Lab).ClusterBFSStudy)},
 		{"overload", "multi-tenant service under bursty overload (admission, shedding, retries)", one((*exp.Lab).ServiceOverloadStudy)},
 		{"freqsweep", "CCR vs little-machine frequency", one((*exp.Lab).FrequencySweep)},
 		{"abl-hybrid", "hybrid threshold sweep", one((*exp.Lab).AblationHybridThreshold)},
@@ -137,7 +138,14 @@ func main() {
 		rec = trace.NewRecorder()
 	}
 
-	lab := exp.NewLab(exp.Config{Scale: *scale, Seed: *seed, Collector: rec})
+	// Assign the recorder only when one exists: a nil *trace.Recorder stored
+	// in the Collector interface field would pass the lab's != nil check and
+	// crash the first traced run.
+	cfg := exp.Config{Scale: *scale, Seed: *seed}
+	if rec != nil {
+		cfg.Collector = rec
+	}
+	lab := exp.NewLab(cfg)
 	var rep *report.Report
 	if *html != "" {
 		rep = report.New("proxygraph: paper reproduction",

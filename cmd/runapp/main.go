@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"proxygraph/internal/apps"
@@ -32,7 +33,9 @@ import (
 
 func main() {
 	var (
-		appName     = flag.String("app", "pagerank", "application: pagerank, coloring, connected_components, triangle_count, bfs, sssp, kcore")
+		appName     = flag.String("app", "pagerank", "application: pagerank, coloring, connected_components, triangle_count, bfs, sssp, kcore, pagerank_async, cluster_bfs, landmark_oracle, kseed_reach")
+		sources     = flag.String("sources", "", "comma-separated root vertices for the BFS family (bfs/sssp take the first; cluster_bfs/kseed_reach take the whole list, up to 64 distinct)")
+		landmarks   = flag.Int("landmarks", 0, "landmark count for landmark_oracle (0 keeps the default 16)")
 		file        = flag.String("file", "", "graph file (.txt or .bin); overrides -spec")
 		specName    = flag.String("spec", "social_network", "Table II spec to generate when no -file is given")
 		scale       = flag.Int("scale", 64, "spec scale divisor")
@@ -59,6 +62,9 @@ func main() {
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
+		fatal(err)
+	}
+	if err := configureSources(app, *sources, *landmarks); err != nil {
 		fatal(err)
 	}
 	cl, err := cliutil.ParseCluster(*clusterSpec)
@@ -139,6 +145,57 @@ func main() {
 	}
 }
 
+// configureSources applies the -sources/-landmarks flags to the BFS-family
+// applications. Malformed sets (out of range, duplicated, more than 64) are
+// rejected with typed errors by the apps themselves at run time.
+func configureSources(app apps.App, list string, landmarks int) error {
+	var roots []graph.VertexID
+	if list != "" {
+		for _, f := range strings.Split(list, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+			if err != nil {
+				return fmt.Errorf("-sources: %w", err)
+			}
+			roots = append(roots, graph.VertexID(v))
+		}
+	}
+	if landmarks > 0 {
+		if _, ok := app.(*apps.LandmarkOracle); !ok {
+			return fmt.Errorf("-landmarks only applies to landmark_oracle, not %s", app.Name())
+		}
+	}
+	switch a := app.(type) {
+	case *apps.BFS:
+		if len(roots) > 0 {
+			a.Source = roots[0]
+		}
+	case *apps.SSSP:
+		if len(roots) > 0 {
+			a.Source = roots[0]
+		}
+	case *apps.ClusterBFS:
+		if len(roots) > 0 {
+			a.Sources = roots
+		}
+	case *apps.KSeedReach:
+		if len(roots) > 0 {
+			a.Seeds = roots
+		}
+	case *apps.LandmarkOracle:
+		if len(roots) > 0 {
+			return fmt.Errorf("-sources: landmark_oracle picks its own roots by degree (use -landmarks to set how many)")
+		}
+		if landmarks > 0 {
+			a.K = landmarks
+		}
+	default:
+		if len(roots) > 0 {
+			return fmt.Errorf("-sources: %s takes no source vertices", app.Name())
+		}
+	}
+	return nil
+}
+
 // runTraced executes the app through the richest entry point the requested
 // options need. Plain runs with no collector take App.Run; anything with
 // fault injection or a collector needs the full-options engine path (or, for
@@ -163,9 +220,9 @@ func runTraced(app apps.App, pl *engine.Placement, cl *cluster.Cluster,
 		return c.Run(pl, cl)
 	}
 	if opts != nil {
-		return nil, fmt.Errorf("%s does not run on the synchronous GAS engine; fault injection and checkpointing need one of: pagerank, connected_components, bfs", app.Name())
+		return nil, fmt.Errorf("%s does not run on the synchronous GAS engine; fault injection and checkpointing need one of: pagerank, connected_components, bfs, cluster_bfs, landmark_oracle, kseed_reach", app.Name())
 	}
-	return nil, fmt.Errorf("%s does not support execution tracing; -trace-out/-metrics-out need one of: pagerank, connected_components, bfs, coloring", app.Name())
+	return nil, fmt.Errorf("%s does not support execution tracing; -trace-out/-metrics-out need one of: pagerank, connected_components, bfs, cluster_bfs, landmark_oracle, kseed_reach, coloring", app.Name())
 }
 
 // sinks holds the pre-opened observability output files.

@@ -47,9 +47,13 @@ func All() []App {
 }
 
 // WithExtensions returns All plus the applications beyond the paper's set
-// (BFS, weighted SSSP, k-core decomposition, asynchronous delta PageRank).
+// (BFS, weighted SSSP, k-core decomposition, asynchronous delta PageRank, and
+// the bit-parallel batched-traversal family: ClusterBFS, the landmark
+// distance oracle and k-seed reachability).
 func WithExtensions() []App {
-	return append(All(), NewBFS(), NewSSSP(), NewKCore(), NewPageRankDelta())
+	return append(All(),
+		NewBFS(), NewSSSP(), NewKCore(), NewPageRankDelta(),
+		NewClusterBFS(), NewLandmarkOracle(), NewKSeedReach())
 }
 
 // ByName returns the application with the given name.

@@ -11,7 +11,8 @@ import (
 // the claim that the profiling flow accepts any special-purpose application
 // (Section III-B) and exercises frontier-style activation in the engine.
 type BFS struct {
-	// Source is the root vertex (clamped into range at Init time).
+	// Source is the root vertex (validated against the graph at run time;
+	// out-of-range roots return ErrSourceOutOfRange).
 	Source graph.VertexID
 	// MaxIters caps the superstep count.
 	MaxIters int
@@ -103,6 +104,9 @@ func (b *BFS) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, er
 // RunOpts is Run with engine options attached (dynamic rebalancing, fault
 // injection and checkpointing).
 func (b *BFS) RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error) {
+	if err := validateSource(b.Name(), pl.G.NumVertices, b.Source); err != nil {
+		return nil, err
+	}
 	res, dists, err := engine.RunSyncOpts[int32, int32](b, pl, cl, opts)
 	if err != nil {
 		return nil, err

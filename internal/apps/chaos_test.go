@@ -89,7 +89,7 @@ func checkChaos[V, A any](t *testing.T, name string, prog engine.Program[V, A], 
 	return refRes
 }
 
-func TestChaosRecoveryFiveApps(t *testing.T) {
+func TestChaosRecoverySixApps(t *testing.T) {
 	old := engine.ParallelShards
 	engine.ParallelShards = 4
 	t.Cleanup(func() { engine.ParallelShards = old })
@@ -154,6 +154,15 @@ func TestChaosRecoveryFiveApps(t *testing.T) {
 	})
 	t.Run("core-cascade", func(t *testing.T) {
 		res := checkChaos[coreState, int32](t, "core-cascade", cascadeProgram{k: 3}, pl, cl, cfg, exact[coreState])
+		if res.Recoveries < 1 {
+			t.Fatal("scheduled crash never fired")
+		}
+	})
+	t.Run("clusterbfs", func(t *testing.T) {
+		// OR is exactly associative, so recovery must be bitwise even though
+		// the replay runs on the repartitioned survivor placement.
+		prog := &ClusterBFS{Sources: spreadSources(g.NumVertices, MaxBatchSources), MaxIters: 1000}
+		res := checkChaos[ClusterState, uint64](t, "clusterbfs", prog, pl, cl, cfg, exact[ClusterState])
 		if res.Recoveries < 1 {
 			t.Fatal("scheduled crash never fired")
 		}

@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"math/bits"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/graph"
+)
+
+// MaxBatchSources is the number of BFS roots one packed traversal carries:
+// one bit lane per source in a uint64 word.
+const MaxBatchSources = 64
+
+// ClusterState is ClusterBFS's per-vertex state: a word of reach bits (bit j
+// set once the vertex has been reached from source j) plus the hop distance
+// per lane. Only the word moves through gather — the engine's accumulator is
+// the bare uint64 — so gather bandwidth scales with batch size, not with the
+// per-lane distance bookkeeping. The struct is plain old data, so it
+// checkpoints and fuzzes through the engine's binary codec unchanged.
+type ClusterState struct {
+	// Seen has bit j set when the vertex is reachable from Sources[j].
+	Seen uint64
+	// Dist[j] is the hop distance from Sources[j], unreached (-1) until
+	// bit j lands.
+	Dist [MaxBatchSources]int32
+}
+
+// ClusterBFS runs a bit-parallel batched breadth-first search: up to 64
+// sources traverse the undirected structure in one engine pass, packed one
+// bit lane per source. Each superstep ORs neighbor reach words into every
+// frontier vertex, so a single gather advances all lanes at once — the
+// Cluster-BFS idea layered on the engine's hybrid sparse/dense frontier,
+// whose per-superstep direction choice reacts to the union frontier (any
+// lane active keeps the vertex hot). Distances per lane are bit-identical
+// to running BFS once per source; the differential suite pins exactly that
+// across all three engines.
+type ClusterBFS struct {
+	// Sources are the batched roots, one bit lane each (at most
+	// MaxBatchSources, all distinct and in range — RunOpts rejects anything
+	// else with a typed error).
+	Sources []graph.VertexID
+	// MaxIters caps the superstep count.
+	MaxIters int
+}
+
+// NewClusterBFS returns a full 64-lane batch rooted at vertices 0..63.
+func NewClusterBFS() *ClusterBFS {
+	srcs := make([]graph.VertexID, MaxBatchSources)
+	for i := range srcs {
+		srcs[i] = graph.VertexID(i)
+	}
+	return &ClusterBFS{Sources: srcs, MaxIters: 1000}
+}
+
+// Name implements App.
+func (c *ClusterBFS) Name() string { return "cluster_bfs" }
+
+// Coeffs implements engine.Program. The gather side is cheaper per edge than
+// scalar BFS — it moves one 8-byte word and ORs it — while apply pays for the
+// popcount-and-scatter over fresh lanes and the 264-byte vertex state raises
+// the per-update broadcast cost. This is the profile the proxy model has to
+// predict for bitset-state applications.
+func (c *ClusterBFS) Coeffs() engine.CostCoeffs {
+	return engine.CostCoeffs{
+		OpsPerGather:    30,
+		BytesPerGather:  24,
+		OpsPerApply:     120,
+		BytesPerApply:   320,
+		OpsPerVertex:    25,
+		BytesPerVertex:  16,
+		SerialFrac:      0.03,
+		StepOverheadOps: 2e3,
+		AccumBytes:      8,
+		ValueBytes:      264,
+	}
+}
+
+// Direction implements engine.Program: like BFS, the batch traverses the
+// undirected structure.
+func (c *ClusterBFS) Direction() engine.Direction { return engine.GatherBoth }
+
+// ApplyAll implements engine.Program.
+func (c *ClusterBFS) ApplyAll() bool { return false }
+
+// MaxSupersteps implements engine.Program.
+func (c *ClusterBFS) MaxSupersteps() int { return c.MaxIters }
+
+// Init implements engine.Program: a source starts with its own lane bit set
+// at distance 0, every other lane unreached.
+func (c *ClusterBFS) Init(v graph.VertexID, outDeg, inDeg int32) ClusterState {
+	var st ClusterState
+	for j := range st.Dist {
+		st.Dist[j] = unreached
+	}
+	for j, s := range c.Sources {
+		if j >= MaxBatchSources {
+			break
+		}
+		if s == v {
+			st.Seen |= 1 << uint(j)
+			st.Dist[j] = 0
+		}
+	}
+	return st
+}
+
+// Gather implements engine.Program: a neighbor offers its whole reach word.
+func (c *ClusterBFS) Gather(src ClusterState) uint64 { return src.Seen }
+
+// Sum implements engine.Program: bitwise OR — exactly associative and
+// commutative, so all three engines agree to the last bit even when sparse
+// supersteps re-associate the accumulation order.
+func (c *ClusterBFS) Sum(a, b uint64) uint64 { return a | b }
+
+// Apply implements engine.Program: lanes arriving for the first time stamp
+// the current hop distance; a vertex signals its neighbors only when at
+// least one fresh lane landed, exactly the per-source frontier rule of
+// scalar BFS, folded over 64 lanes with one AND-NOT.
+func (c *ClusterBFS) Apply(v graph.VertexID, old ClusterState, acc uint64, hasAcc bool, rt *engine.Runtime) (ClusterState, bool) {
+	if !hasAcc {
+		return old, false
+	}
+	fresh := acc &^ old.Seen
+	if fresh == 0 {
+		return old, false
+	}
+	old.Seen |= fresh
+	d := int32(rt.Step) + 1
+	for m := fresh; m != 0; m &= m - 1 {
+		old.Dist[bits.TrailingZeros64(m)] = d
+	}
+	return old, true
+}
+
+// ClusterLabels is ClusterBFS's output: the packed per-vertex reach words
+// and per-lane distances, the label set both batch workloads (the landmark
+// distance oracle and k-seed reachability) read their answers from.
+type ClusterLabels struct {
+	// Sources maps bit lane j to its root vertex.
+	Sources []graph.VertexID
+	// States holds every vertex's packed state, indexed by vertex ID.
+	States []ClusterState
+}
+
+// K returns the batch width (number of lanes in use).
+func (l *ClusterLabels) K() int { return len(l.Sources) }
+
+// Reached reports whether vertex v was reached from source lane j.
+func (l *ClusterLabels) Reached(v graph.VertexID, j int) bool {
+	return l.States[v].Seen&(1<<uint(j)) != 0
+}
+
+// Dist returns the hop distance from source lane j to vertex v, or -1 when v
+// is unreachable from that root.
+func (l *ClusterLabels) Dist(v graph.VertexID, j int) int32 { return l.States[v].Dist[j] }
+
+// ReachMask returns vertex v's packed reach word.
+func (l *ClusterLabels) ReachMask(v graph.VertexID) uint64 { return l.States[v].Seen }
+
+// Run implements App. The Output is a *ClusterLabels.
+func (c *ClusterBFS) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	return c.RunOpts(pl, cl, engine.Options{})
+}
+
+// RunOpts is Run with engine options attached (dynamic rebalancing, fault
+// injection and checkpointing). The source set is validated up front: empty,
+// oversized, duplicated or out-of-range source sets return a typed error
+// before the engine starts.
+func (c *ClusterBFS) RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error) {
+	if err := validateSources(c.Name(), pl.G.NumVertices, c.Sources, MaxBatchSources); err != nil {
+		return nil, err
+	}
+	res, states, err := engine.RunSyncOpts[ClusterState, uint64](c, pl, cl, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = &ClusterLabels{Sources: append([]graph.VertexID(nil), c.Sources...), States: states}
+	return res, nil
+}

@@ -12,7 +12,7 @@ import (
 )
 
 // This file is the cross-engine equivalence suite ISSUE'd alongside the CSR
-// engine rewrite: five applications run through RunSyncReference (the original
+// engine rewrite: six applications run through RunSyncReference (the original
 // edge-list engine kept as executable specification), RunSync (machine-local
 // CSR blocks + hybrid frontier) and RunSyncParallel (destination sharding),
 // and every run must produce byte-identical simulation accounting. Vertex
@@ -205,7 +205,7 @@ func (p cascadeProgram) Apply(v graph.VertexID, old coreState, acc int32, hasAcc
 	return old, false
 }
 
-func TestEngineEquivalenceFiveApps(t *testing.T) {
+func TestEngineEquivalenceSixApps(t *testing.T) {
 	old := engine.ParallelShards
 	engine.ParallelShards = 4
 	t.Cleanup(func() { engine.ParallelShards = old })
@@ -229,6 +229,12 @@ func TestEngineEquivalenceFiveApps(t *testing.T) {
 	})
 	t.Run("core-cascade", func(t *testing.T) {
 		checkEquivalence[coreState, int32](t, "core-cascade", cascadeProgram{k: 3}, pl, cl, exact[coreState])
+	})
+	t.Run("clusterbfs", func(t *testing.T) {
+		// Word-valued vertex state: OR-accumulated reach bits are exactly
+		// associative, so the packed batch must agree to the last bit.
+		prog := &ClusterBFS{Sources: spreadSources(g.NumVertices, MaxBatchSources), MaxIters: 1000}
+		checkEquivalence[ClusterState, uint64](t, "clusterbfs", prog, pl, cl, exact[ClusterState])
 	})
 }
 

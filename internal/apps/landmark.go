@@ -1,0 +1,199 @@
+package apps
+
+import (
+	"math/bits"
+	"sort"
+
+	"proxygraph/internal/cluster"
+	"proxygraph/internal/engine"
+	"proxygraph/internal/graph"
+)
+
+// This file holds the two batch-analytics workloads built on ClusterBFS: a
+// landmark-based distance oracle and k-seed reachability. Both run ONE packed
+// engine pass and then answer arbitrarily many queries from the labels — the
+// "many queries per graph pass" scenario class the batched traversal opens.
+
+// batchProgram renames an inner ClusterBFS program so the accountant, traces
+// and CCR pool see the workload's own name while the packed traversal logic
+// stays shared.
+type batchProgram struct {
+	*ClusterBFS
+	name string
+}
+
+// Name implements engine.Program.
+func (p batchProgram) Name() string { return p.name }
+
+// runBatch validates the inner source set under the workload's name and
+// executes the packed traversal through the full-options engine path.
+func runBatch(p batchProgram, pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, *ClusterLabels, error) {
+	if err := validateSources(p.name, pl.G.NumVertices, p.Sources, MaxBatchSources); err != nil {
+		return nil, nil, err
+	}
+	res, states, err := engine.RunSyncOpts[ClusterState, uint64](p, pl, cl, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := &ClusterLabels{Sources: append([]graph.VertexID(nil), p.Sources...), States: states}
+	return res, labels, nil
+}
+
+// LandmarkOracle builds a landmark-based distance oracle: the K
+// highest-degree vertices become BFS roots of one packed traversal, and the
+// resulting labels answer point-to-point distance queries by routing through
+// the best landmark. Hub landmarks lie on many shortest paths in power-law
+// graphs, which keeps the triangle-inequality upper bound tight.
+type LandmarkOracle struct {
+	// K is the number of landmarks (1..MaxBatchSources).
+	K int
+	// MaxIters caps the traversal supersteps.
+	MaxIters int
+}
+
+// NewLandmarkOracle returns a 16-landmark oracle.
+func NewLandmarkOracle() *LandmarkOracle { return &LandmarkOracle{K: 16, MaxIters: 1000} }
+
+// Name implements App.
+func (o *LandmarkOracle) Name() string { return "landmark_oracle" }
+
+// Landmarks returns the K highest-total-degree vertices of g, ties broken
+// toward the lower vertex ID — a pure function of the graph, so cached
+// placements and replayed jobs pick identical roots.
+func (o *LandmarkOracle) Landmarks(g *graph.Graph) []graph.VertexID {
+	deg := g.TotalDegrees()
+	ids := make([]graph.VertexID, g.NumVertices)
+	for v := range ids {
+		ids[v] = graph.VertexID(v)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if deg[ids[a]] != deg[ids[b]] {
+			return deg[ids[a]] > deg[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	k := o.K
+	if k > len(ids) {
+		k = len(ids)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ids[:k]
+}
+
+// Run implements App. The Output is a *DistanceOracle.
+func (o *LandmarkOracle) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	return o.RunOpts(pl, cl, engine.Options{})
+}
+
+// RunOpts is Run with engine options attached.
+func (o *LandmarkOracle) RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error) {
+	inner := &ClusterBFS{Sources: o.Landmarks(pl.G), MaxIters: o.MaxIters}
+	if inner.MaxIters <= 0 {
+		inner.MaxIters = 1000
+	}
+	res, labels, err := runBatch(batchProgram{inner, o.Name()}, pl, cl, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = &DistanceOracle{Labels: labels}
+	return res, nil
+}
+
+// DistanceOracle answers point-to-point hop-distance queries from packed
+// landmark labels without touching the graph again.
+type DistanceOracle struct {
+	// Labels are the packed per-vertex landmark distances.
+	Labels *ClusterLabels
+}
+
+// Query returns an upper bound on the hop distance between u and v:
+// min over landmarks l of d(u,l)+d(l,v), considering only landmarks that
+// reach both endpoints. ok is false when no landmark connects them (distinct
+// components, or too few landmarks). The bound is exact whenever some
+// shortest u–v path passes through a landmark — in particular whenever u or
+// v is itself a landmark.
+func (o *DistanceOracle) Query(u, v graph.VertexID) (dist int32, ok bool) {
+	if u == v {
+		return 0, true
+	}
+	both := o.Labels.ReachMask(u) & o.Labels.ReachMask(v)
+	if both == 0 {
+		return -1, false
+	}
+	best := int32(-1)
+	for m := both; m != 0; m &= m - 1 {
+		j := bits.TrailingZeros64(m)
+		if d := o.Labels.Dist(u, j) + o.Labels.Dist(v, j); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// KSeedReach computes batched reachability from k seed vertices: one packed
+// traversal labels every vertex with the word of seeds that reach it. The
+// output answers "which seeds reach v", "how many vertices does seed j
+// cover" and "what does the union cover" — the influence/coverage queries of
+// seed-set analytics — without per-seed passes.
+type KSeedReach struct {
+	// Seeds are the reachability roots (1..MaxBatchSources, distinct).
+	Seeds []graph.VertexID
+	// MaxIters caps the traversal supersteps.
+	MaxIters int
+}
+
+// NewKSeedReach returns a 32-seed reachability batch rooted at vertices
+// 0..31.
+func NewKSeedReach() *KSeedReach {
+	seeds := make([]graph.VertexID, 32)
+	for i := range seeds {
+		seeds[i] = graph.VertexID(i)
+	}
+	return &KSeedReach{Seeds: seeds, MaxIters: 1000}
+}
+
+// Name implements App.
+func (r *KSeedReach) Name() string { return "kseed_reach" }
+
+// Run implements App. The Output is a *ReachSummary.
+func (r *KSeedReach) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, error) {
+	return r.RunOpts(pl, cl, engine.Options{})
+}
+
+// RunOpts is Run with engine options attached.
+func (r *KSeedReach) RunOpts(pl *engine.Placement, cl *cluster.Cluster, opts engine.Options) (*engine.Result, error) {
+	inner := &ClusterBFS{Sources: r.Seeds, MaxIters: r.MaxIters}
+	if inner.MaxIters <= 0 {
+		inner.MaxIters = 1000
+	}
+	res, labels, err := runBatch(batchProgram{inner, r.Name()}, pl, cl, opts)
+	if err != nil {
+		return nil, err
+	}
+	sum := &ReachSummary{Labels: labels, PerSeed: make([]int, labels.K())}
+	for v := range labels.States {
+		mask := labels.States[v].Seen
+		if mask != 0 {
+			sum.Union++
+		}
+		for m := mask; m != 0; m &= m - 1 {
+			sum.PerSeed[bits.TrailingZeros64(m)]++
+		}
+	}
+	res.Output = sum
+	return res, nil
+}
+
+// ReachSummary is KSeedReach's output: the packed labels plus the coverage
+// counts derived from them.
+type ReachSummary struct {
+	// Labels are the packed per-vertex reach words (seed j reaches v iff bit
+	// j of v's word is set; a seed always reaches itself).
+	Labels *ClusterLabels
+	// PerSeed[j] counts the vertices seed j reaches (including itself).
+	PerSeed []int
+	// Union counts the vertices reached by at least one seed.
+	Union int
+}

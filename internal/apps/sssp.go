@@ -65,8 +65,8 @@ func (s *SSSP) Run(pl *engine.Placement, cl *cluster.Cluster) (*engine.Result, e
 	}
 	g := pl.G
 	n := g.NumVertices
-	if int(s.Source) >= n {
-		return nil, fmt.Errorf("sssp: source %d outside graph with %d vertices", s.Source, n)
+	if err := validateSource(s.Name(), n, s.Source); err != nil {
+		return nil, err
 	}
 
 	dist := make([]float64, n)

@@ -235,10 +235,10 @@ func TestKCoreMaxKCap(t *testing.T) {
 }
 
 func TestExtensionsRegistered(t *testing.T) {
-	if len(WithExtensions()) != 8 {
-		t.Fatalf("extensions registry has %d apps, want 8", len(WithExtensions()))
+	if len(WithExtensions()) != 11 {
+		t.Fatalf("extensions registry has %d apps, want 11", len(WithExtensions()))
 	}
-	for _, name := range []string{"sssp", "kcore", "pagerank_async"} {
+	for _, name := range []string{"sssp", "kcore", "pagerank_async", "cluster_bfs", "landmark_oracle", "kseed_reach"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}

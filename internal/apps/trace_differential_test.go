@@ -135,7 +135,7 @@ func checkTraceDifferential[V, A any](t *testing.T, name string, prog engine.Pro
 	}
 }
 
-func TestTraceDifferentialFiveApps(t *testing.T) {
+func TestTraceDifferentialSixApps(t *testing.T) {
 	old := engine.ParallelShards
 	engine.ParallelShards = 4
 	t.Cleanup(func() { engine.ParallelShards = old })
@@ -173,6 +173,10 @@ func TestTraceDifferentialFiveApps(t *testing.T) {
 			})
 			t.Run("core-cascade", func(t *testing.T) {
 				checkTraceDifferential[coreState, int32](t, "core-cascade", cascadeProgram{k: 3}, pl, cl, v.opts)
+			})
+			t.Run("clusterbfs", func(t *testing.T) {
+				prog := &ClusterBFS{Sources: spreadSources(g.NumVertices, MaxBatchSources), MaxIters: 1000}
+				checkTraceDifferential[ClusterState, uint64](t, "clusterbfs", prog, pl, cl, v.opts)
 			})
 		})
 	}

@@ -101,6 +101,12 @@ func TestParallelEngineWorkerCountInvariance(t *testing.T) {
 			t.Run("core-cascade", func(t *testing.T) {
 				checkWorkerInvariance[coreState, int32](t, "core-cascade", cascadeProgram{k: 3}, pl, cl, mode.opts())
 			})
+			t.Run("clusterbfs", func(t *testing.T) {
+				// The 264-byte packed state rides the same sharded apply
+				// sweep; the trace stream may not feel the worker count.
+				prog := &ClusterBFS{Sources: spreadSources(g.NumVertices, MaxBatchSources), MaxIters: 1000}
+				checkWorkerInvariance[ClusterState, uint64](t, "clusterbfs", prog, pl, cl, mode.opts())
+			})
 		})
 	}
 }

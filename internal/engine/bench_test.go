@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/bits"
 	"testing"
 
 	"proxygraph/internal/gen"
@@ -166,5 +167,72 @@ func BenchmarkEngineGatherSSSPReference(b *testing.B) {
 	runGatherBench[uint32, uint32](b, benchSSSPProgram{}, pl,
 		func(p Program[uint32, uint32], pl *Placement) (*Result, []uint32, error) {
 			return RunSyncReference[uint32, uint32](p, pl, cl)
+		})
+}
+
+// benchClusterState mirrors the apps package's packed ClusterBFS state (the
+// engine cannot import apps): a 64-lane reach word plus per-lane distances.
+type benchClusterState struct {
+	seen uint64
+	dist [64]int32
+}
+
+// benchClusterProgram is bit-parallel batched BFS: 64 sources, one bit lane
+// each, OR-accumulated reach words. The 264-byte vertex state and the
+// word-wide accumulator stress the engines' generic value plumbing in a way
+// the scalar benchmarks cannot.
+type benchClusterProgram struct{}
+
+func (benchClusterProgram) Name() string         { return "bench-clusterbfs" }
+func (benchClusterProgram) Coeffs() CostCoeffs   { return rankProgram{}.Coeffs() }
+func (benchClusterProgram) Direction() Direction { return GatherBoth }
+func (benchClusterProgram) ApplyAll() bool       { return false }
+func (benchClusterProgram) MaxSupersteps() int   { return 1 << 20 }
+func (benchClusterProgram) Init(v graph.VertexID, outDeg, inDeg int32) benchClusterState {
+	var st benchClusterState
+	for j := range st.dist {
+		st.dist[j] = -1
+	}
+	// Sources spread every 300 vertices across the 20000-vertex inputs.
+	if int(v)%300 == 0 && int(v)/300 < 64 {
+		st.seen = 1 << uint(int(v)/300)
+		st.dist[int(v)/300] = 0
+	}
+	return st
+}
+func (benchClusterProgram) Gather(src benchClusterState) uint64 { return src.seen }
+func (benchClusterProgram) Sum(a, b uint64) uint64              { return a | b }
+func (benchClusterProgram) Apply(v graph.VertexID, old benchClusterState, acc uint64, has bool, rt *Runtime) (benchClusterState, bool) {
+	if !has {
+		return old, false
+	}
+	fresh := acc &^ old.seen
+	if fresh == 0 {
+		return old, false
+	}
+	old.seen |= fresh
+	d := int32(rt.Step) + 1
+	for m := fresh; m != 0; m &= m - 1 {
+		old.dist[bits.TrailingZeros64(m)] = d
+	}
+	return old, true
+}
+
+func BenchmarkEngineClusterBFS(b *testing.B) {
+	pl := benchPlacement(b, benchRing())
+	cl := testCluster(b, "c4.xlarge", "c4.2xlarge", "c4.8xlarge", "c4.xlarge")
+	runGatherBench[benchClusterState, uint64](b, benchClusterProgram{}, pl,
+		func(p Program[benchClusterState, uint64], pl *Placement) (*Result, []benchClusterState, error) {
+			return RunSync[benchClusterState, uint64](p, pl, cl)
+		})
+}
+
+func BenchmarkEngineClusterBFSParallel(b *testing.B) {
+	withAutoShards(b)
+	pl := benchPlacement(b, benchRing())
+	cl := testCluster(b, "c4.xlarge", "c4.2xlarge", "c4.8xlarge", "c4.xlarge")
+	runGatherBench[benchClusterState, uint64](b, benchClusterProgram{}, pl,
+		func(p Program[benchClusterState, uint64], pl *Placement) (*Result, []benchClusterState, error) {
+			return RunSyncParallel[benchClusterState, uint64](p, pl, cl)
 		})
 }

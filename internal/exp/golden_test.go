@@ -33,6 +33,7 @@ func TestGoldenTables(t *testing.T) {
 		{"fig8a", func() (interface{ String() string }, error) { return lab.Fig8a() }},
 		{"recovery", func() (interface{ String() string }, error) { return lab.RecoveryStudy() }},
 		{"overload", func() (interface{ String() string }, error) { return lab.ServiceOverloadStudy() }},
+		{"clusterbfs", func() (interface{ String() string }, error) { return lab.ClusterBFSStudy() }},
 	}
 	for _, tc := range cases {
 		tc := tc

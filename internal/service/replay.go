@@ -61,7 +61,7 @@ func Replay(cfg Config, arrivals []Arrival) (*ReplayReport, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	pool, err := core.BuildPool(cfg.Cluster, apps.All(), cfg.Estimator)
+	pool, err := core.BuildPool(cfg.Cluster, apps.WithExtensions(), cfg.Estimator)
 	if err != nil {
 		return nil, err
 	}

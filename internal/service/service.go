@@ -170,7 +170,7 @@ func New(cfg Config) (*Service, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	pool, err := core.BuildPool(cfg.Cluster, apps.All(), cfg.Estimator)
+	pool, err := core.BuildPool(cfg.Cluster, apps.WithExtensions(), cfg.Estimator)
 	if err != nil {
 		return nil, err
 	}

@@ -170,7 +170,22 @@ func (s *Session) Run(jobs []Job, est core.Estimator) (*Report, error) {
 		rep.ProfilingSeconds = cost
 	}
 
-	pool, err := core.BuildPool(s.Cluster, apps.All(), est)
+	// The CCR pool covers the paper's four applications plus whatever the job
+	// stream actually brings (deduplicated by name): extension jobs — BFS,
+	// the batched ClusterBFS family — dispatch through the same pool, share
+	// the placement cache, and charge the budget once per batch.
+	poolApps := apps.All()
+	pooled := make(map[string]bool, len(poolApps))
+	for _, a := range poolApps {
+		pooled[a.Name()] = true
+	}
+	for _, job := range jobs {
+		if job.App != nil && !pooled[job.App.Name()] {
+			pooled[job.App.Name()] = true
+			poolApps = append(poolApps, job.App)
+		}
+	}
+	pool, err := core.BuildPool(s.Cluster, poolApps, est)
 	if err != nil {
 		return nil, err
 	}

@@ -181,10 +181,13 @@ func TestSessionContinueOnError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// BFS is outside apps.All(), so the session's CCR pool has no entry for
-	// it: the job fails at dispatch with a per-job error.
+	// Extension apps now join the pool, so a missing pool entry no longer
+	// fails a job; an out-of-range BFS root still does, rejected by the typed
+	// source validation at run time.
 	bad := jobs[1]
-	bad.App = apps.NewBFS()
+	badBFS := apps.NewBFS()
+	badBFS.Source = 1 << 30
+	bad.App = badBFS
 	withBad := append(append([]Job{}, jobs[:2]...), bad)
 	withBad = append(withBad, jobs[2:]...)
 
@@ -269,5 +272,49 @@ func TestSessionTraceIdenticalResults(t *testing.T) {
 	}
 	if begins == 0 {
 		t.Fatal("no superstep events across the session")
+	}
+}
+
+// TestSessionBatchJobs runs the batched-traversal family (ClusterBFS, the
+// landmark oracle, k-seed reachability) through a cached session: extension
+// jobs dispatch through the job-unioned CCR pool, repeated batches hit the
+// placement cache, and each batch charges the session clock exactly once.
+func TestSessionBatchJobs(t *testing.T) {
+	cl := caseTwo(t)
+	base, err := RandomJobs(1, 256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := base[0].Graph
+	jobs := []Job{
+		{App: apps.NewClusterBFS(), Graph: g, Seed: 1},
+		{App: apps.NewLandmarkOracle(), Graph: g, Seed: 1},
+		{App: apps.NewKSeedReach(), Graph: g, Seed: 1},
+		{App: apps.NewClusterBFS(), Graph: g, Seed: 1},
+	}
+	s := &Session{Cluster: cl, Cache: NewPlacementCache(), ChargeIngress: true}
+	rep, err := s.Run(jobs, core.NewThreadCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.JobSeconds) != len(jobs) {
+		t.Fatalf("report covers %d jobs, want %d", len(rep.JobSeconds), len(jobs))
+	}
+	for i, sec := range rep.JobSeconds {
+		if sec <= 0 {
+			t.Errorf("job %d (%s) charged %v seconds", i, jobs[i].App.Name(), sec)
+		}
+	}
+	if rep.CacheHits+rep.CacheMisses != len(jobs) {
+		t.Fatalf("cache outcomes %d+%d do not cover %d jobs", rep.CacheHits, rep.CacheMisses, len(jobs))
+	}
+	if rep.CacheHits < 1 {
+		t.Error("repeated batch on the same graph never hit the placement cache")
+	}
+	if rep.IngressSeconds[0] <= 0 {
+		t.Error("cold batch charged no ingress")
+	}
+	if rep.IngressSeconds[len(jobs)-1] != 0 {
+		t.Error("cached batch charged ingress")
 	}
 }

@@ -146,8 +146,8 @@ type Result = engine.Result
 // Components, Triangle Count).
 func Apps() []App { return apps.All() }
 
-// AppsWithExtensions additionally includes the BFS, SSSP and k-core
-// extensions.
+// AppsWithExtensions additionally includes the BFS, SSSP, k-core, delta
+// PageRank and batched-traversal (ClusterBFS family) extensions.
 func AppsWithExtensions() []App { return apps.WithExtensions() }
 
 // AppByName returns the named application.
@@ -310,6 +310,17 @@ func NewSSSP() *apps.SSSP { return apps.NewSSSP() }
 
 // NewKCore returns the k-core decomposition extension.
 func NewKCore() *apps.KCore { return apps.NewKCore() }
+
+// NewClusterBFS returns the bit-parallel batched multi-source BFS extension
+// (64 sources packed one bit lane per uint64 word).
+func NewClusterBFS() *apps.ClusterBFS { return apps.NewClusterBFS() }
+
+// NewLandmarkOracle returns the landmark distance-oracle workload built on
+// ClusterBFS.
+func NewLandmarkOracle() *apps.LandmarkOracle { return apps.NewLandmarkOracle() }
+
+// NewKSeedReach returns the k-seed reachability workload built on ClusterBFS.
+func NewKSeedReach() *apps.KSeedReach { return apps.NewKSeedReach() }
 
 // NewHDRF returns the HDRF streaming vertex-cut extension.
 func NewHDRF() *partition.HDRF { return partition.NewHDRF() }

@@ -53,7 +53,7 @@ func TestFacadeCatalogs(t *testing.T) {
 	if len(TableIISpecs()) != 7 || len(RealGraphSpecs()) != 4 || len(ProxyGraphSpecs()) != 3 {
 		t.Error("Table II catalogs wrong")
 	}
-	if len(Apps()) != 4 || len(AppsWithExtensions()) != 8 {
+	if len(Apps()) != 4 || len(AppsWithExtensions()) != 11 {
 		t.Error("app registry wrong")
 	}
 	if len(Partitioners()) != 5 || len(PartitionersWithExtensions()) != 6 {
