@@ -15,17 +15,22 @@ test:
 # chaos suite) or are otherwise concurrency-sensitive (the metrics registry),
 # the ingress differential test pinning the parallel partitioners to their
 # sequential specs, the batched-BFS differential suite pinning the 64-lane
-# packed traversal to 64 scalar runs at -cpu 1,2,4, the overload golden file
-# pinning the service control plane byte-for-byte, and a short fuzz pass over
-# every decoder/encoder boundary plus the packed-traversal property fuzzer.
+# packed traversal to 64 scalar runs at -cpu 1,2,4, the evolving-graph
+# differentials (amended placements inside their imbalance envelope,
+# O(|delta|) fingerprints bit-identical to full rescans, process-stable
+# partitioner cache keys), the overload and evolve golden files pinning the
+# service control plane and the incremental-recomputation chain
+# byte-for-byte, and a short fuzz pass over every decoder/encoder boundary
+# plus the packed-traversal and delta property fuzzers.
 check:
 	go vet ./...
-	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace ./internal/workload ./internal/service
+	go test -race ./internal/engine ./internal/partition ./internal/apps ./internal/fault ./internal/trace ./internal/workload ./internal/service ./internal/graph
 	go test -race -cpu 1,2,4 -run TestParallelEngineWorkerCountInvariance ./internal/apps
 	go test -race -cpu 1,2,4 -run TestClusterBFS ./internal/apps
 	go test -run 'TestIngressDifferential|TestCompileBlocksParallelMatchesSequential' ./internal/partition ./internal/engine
 	go test -run 'TestIngressAllocs|TestHybridShardedBytesRegression' ./internal/partition
-	go test -run 'TestGoldenTables/overload' ./internal/exp
+	go test -run 'TestAmendDifferential|TestEvolveFingerprint|TestPartitionerFingerprintStability' ./internal/partition ./internal/workload
+	go test -run 'TestGoldenTables/(overload|evolve)' ./internal/exp
 	$(MAKE) fuzz-smoke
 
 # fuzz-smoke runs each fuzz target briefly — enough to exercise the seed
@@ -38,6 +43,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime $(FUZZTIME) ./internal/engine
 	go test -run '^$$' -fuzz FuzzDecodeJournal -fuzztime $(FUZZTIME) ./internal/service
 	go test -run '^$$' -fuzz FuzzClusterBFS -fuzztime $(FUZZTIME) ./internal/apps
+	go test -run '^$$' -fuzz FuzzDelta -fuzztime $(FUZZTIME) ./internal/graph
 
 # crash-smoke runs the end-to-end crash-restart check: a journaling serve
 # process is kill -9'd mid-life and restarted; status URLs, idempotency keys

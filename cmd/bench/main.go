@@ -72,6 +72,7 @@ func experiments() []experiment {
 		{"session", "placement cache vs rebuilt ingress, charged sessions", one((*exp.Lab).SessionThroughputStudy)},
 		{"recovery", "checkpoint interval vs crash-recovery cost", one((*exp.Lab).RecoveryStudy)},
 		{"clusterbfs", "proxy-predicted vs measured placement for bitset-state batched traversal", one((*exp.Lab).ClusterBFSStudy)},
+		{"evolve", "evolving graphs: amended placement + resumed apps vs full rebuild", one((*exp.Lab).EvolveStudy)},
 		{"overload", "multi-tenant service under bursty overload (admission, shedding, retries)", one((*exp.Lab).ServiceOverloadStudy)},
 		{"freqsweep", "CCR vs little-machine frequency", one((*exp.Lab).FrequencySweep)},
 		{"abl-hybrid", "hybrid threshold sweep", one((*exp.Lab).AblationHybridThreshold)},

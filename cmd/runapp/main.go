@@ -29,6 +29,7 @@ import (
 	"proxygraph/internal/metrics"
 	"proxygraph/internal/partition"
 	"proxygraph/internal/trace"
+	"proxygraph/internal/workload"
 )
 
 func main() {
@@ -56,6 +57,9 @@ func main() {
 		recovery   = flag.String("recovery", "checkpoint", "crash recovery policy: checkpoint, restart")
 
 		ingressShards = flag.Int("ingress-shards", 0, "worker count for parallel ingress scans (0 = GOMAXPROCS)")
+
+		evolveInserts = flag.Int("evolve-inserts", 0, "after the run, evolve the graph by this many random edge insertions and re-run incrementally")
+		evolveDeletes = flag.Int("evolve-deletes", 0, "after the run, evolve the graph by this many random edge deletions and re-run incrementally")
 	)
 	flag.Parse()
 	partition.ParallelShards = *ingressShards
@@ -88,7 +92,11 @@ func main() {
 		fatal(err)
 	}
 
-	pl, err := partition.Apply(part, g, shares, *seed)
+	// Place through the content-keyed cache: for a plain run this is exactly
+	// partition.Apply, but it leaves a clean base entry behind for the
+	// -evolve-* path to amend instead of re-ingressing.
+	cache := workload.NewPlacementCache()
+	pl, _, err := cache.Place(part, g, shares, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,6 +151,59 @@ func main() {
 		fmt.Println()
 		fmt.Print(trace.Summarize(rec.Events).String())
 	}
+
+	if *evolveInserts > 0 || *evolveDeletes > 0 {
+		if err := runEvolved(app, res, g, cl, cache, part, shares,
+			*evolveInserts, *evolveDeletes, *seed); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runEvolved mutates the loaded graph by a random batch of *seed-derived edge
+// insertions and deletions, then re-runs the application incrementally: the
+// placement is revalidated through the cache's content-keyed PlaceEvolved
+// (amending the base placement instead of re-ingressing from scratch), and
+// applications with a resume path (pagerank, connected_components) warm-start
+// from the base run's converged output so re-execution scales with the
+// disturbance rather than the graph.
+func runEvolved(app apps.App, base *engine.Result, g *graph.Graph, cl *cluster.Cluster,
+	cache *workload.PlacementCache, part partition.Partitioner, shares []float64,
+	inserts, deletes int, seed uint64) error {
+	d, err := gen.RandomDelta(g, gen.DeltaSpec{Inserts: inserts, Deletes: deletes, Time: 1}, seed+1)
+	if err != nil {
+		return fmt.Errorf("-evolve: %w", err)
+	}
+	evolved, err := d.Apply(g)
+	if err != nil {
+		return fmt.Errorf("-evolve: %w", err)
+	}
+	pl, outcome, err := cache.PlaceEvolved(part, g, d, evolved, shares, seed)
+	if err != nil {
+		return fmt.Errorf("-evolve: %w", err)
+	}
+	warm := app
+	how := "cold re-run (no resume path)"
+	switch a := app.(type) {
+	case *apps.PageRank:
+		warm = a.Resume(base.Output.([]float64))
+		how = "resumed from prior ranks"
+	case *apps.ConnectedComponents:
+		warm = a.Resume(base.Output.(apps.Components).Labels, d, evolved)
+		how = "resumed from prior labels"
+	}
+	res, err := runTraced(warm, pl, cl, nil, nil)
+	if err != nil {
+		return fmt.Errorf("-evolve: %w", err)
+	}
+	fmt.Println()
+	fmt.Printf("evolved %s: +%d/-%d edges -> %d vertices, %d edges\n",
+		g.Name, len(d.Inserts), len(d.Deletes), evolved.NumVertices, evolved.NumEdges())
+	fmt.Printf("placement          %s, %s\n", outcome, how)
+	fmt.Printf("execution makespan %s over %d supersteps (base: %s over %d)\n",
+		metrics.Seconds(res.SimSeconds), res.Supersteps,
+		metrics.Seconds(base.SimSeconds), base.Supersteps)
+	return nil
 }
 
 // configureSources applies the -sources/-landmarks flags to the BFS-family

@@ -1,0 +1,320 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"proxygraph/internal/engine"
+	"proxygraph/internal/fault"
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+	"proxygraph/internal/partition"
+)
+
+// evolveEquiv derives a delta and its evolved graph from the shared
+// equivalence-test graph.
+func evolveEquiv(t *testing.T, base *graph.Graph, inserts, deletes int, seed uint64) (*graph.Delta, *graph.Graph) {
+	t.Helper()
+	d, err := gen.RandomDelta(base, gen.DeltaSpec{Inserts: inserts, Deletes: deletes, Time: 1}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evolved, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, evolved
+}
+
+// TestCCResumeMatchesColdAllEngines is acceptance check (b) for connected
+// components: labels are exact integers with a unique fixed point, so a
+// delta-based resumed run must converge to values bit-identical to a cold run
+// on the evolved graph — on every engine.
+func TestCCResumeMatchesColdAllEngines(t *testing.T) {
+	old := engine.ParallelShards
+	engine.ParallelShards = 4
+	t.Cleanup(func() { engine.ParallelShards = old })
+
+	base := equivGraph(t)
+	cl := heteroCluster(t)
+	cc := NewConnectedComponents()
+
+	_, prior, err := engine.RunSyncReference[uint32, uint32](cc, moduloPlacement(t, base, 4), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, evolved := evolveEquiv(t, base, 300, 300, 17)
+	pl := moduloPlacement(t, evolved, 4)
+	coldRes, cold, err := engine.RunSyncReference[uint32, uint32](cc, pl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resume := cc.Resume(prior, d, evolved)
+	opts := engine.Options{InitialActive: resume.Seed()}
+	refRes, refVals, err := engine.RunSyncReferenceOpts[uint32, uint32](resume, pl, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, csrVals, err := engine.RunSyncOpts[uint32, uint32](resume, pl, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parVals, err := engine.RunSyncParallelOpts[uint32, uint32](resume, pl, cl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range cold {
+		if refVals[v] != cold[v] || csrVals[v] != cold[v] || parVals[v] != cold[v] {
+			t.Fatalf("vertex %d: resumed labels ref=%d csr=%d par=%d, cold=%d",
+				v, refVals[v], csrVals[v], parVals[v], cold[v])
+		}
+	}
+	// Resuming must not iterate longer than the cold run: the warm labelling
+	// is already a partial fixed point.
+	if refRes.Supersteps > coldRes.Supersteps {
+		t.Errorf("resumed run took %d supersteps, cold took %d", refRes.Supersteps, coldRes.Supersteps)
+	}
+}
+
+// TestCCResumeSplitsComponent pins the deletion-reset rule on a handcrafted
+// split: removing a bridge must let both halves relabel, including members
+// the delta never touched directly.
+func TestCCResumeSplitsComponent(t *testing.T) {
+	base := &graph.Graph{
+		Name:        "bridge",
+		NumVertices: 6,
+		// One chain 0-1-2-3-4 plus isolated 5: label propagation runs over
+		// both directions, so the chain is one component.
+		Edges: []graph.Edge{E(0, 1), E(1, 2), E(2, 3), E(3, 4)},
+	}
+	cl := heteroCluster(t)
+	cc := NewConnectedComponents()
+	_, prior, err := engine.RunSyncReference[uint32, uint32](cc, moduloPlacement(t, base, 4), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := &graph.Delta{Time: 1, Deletes: []graph.Edge{E(2, 3)}}
+	evolved, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := moduloPlacement(t, evolved, 4)
+	_, cold, err := engine.RunSyncReference[uint32, uint32](cc, pl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := cc.Resume(prior, d, evolved)
+	_, got, err := engine.RunSyncReferenceOpts[uint32, uint32](resume, pl, cl, engine.Options{InitialActive: resume.Seed()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range cold {
+		if got[v] != cold[v] {
+			t.Fatalf("vertex %d: resumed label %d, cold %d", v, got[v], cold[v])
+		}
+	}
+	// The split must actually be visible: 3 and 4 can no longer share a
+	// label with 0.
+	if got[0] == got[3] {
+		t.Fatal("deleted bridge did not split the component")
+	}
+}
+
+// TestPRResumeWithinEnvelope is acceptance check (b) for PageRank: the
+// tolerance-stopped fixed point is not bit-exact across different starting
+// vectors, but resumed and cold ranks must agree per vertex within
+// 2·Tolerance/(1−Damping), and resuming must not take more supersteps.
+func TestPRResumeWithinEnvelope(t *testing.T) {
+	old := engine.ParallelShards
+	engine.ParallelShards = 4
+	t.Cleanup(func() { engine.ParallelShards = old })
+
+	base := equivGraph(t)
+	cl := heteroCluster(t)
+	pr := NewPageRank()
+
+	_, priorStates, err := engine.RunSyncReference[prState, float64](pr, moduloPlacement(t, base, 4), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := make([]float64, len(priorStates))
+	for i, s := range priorStates {
+		prior[i] = s.rank
+	}
+
+	_, evolved := evolveEquiv(t, base, 60, 60, 23)
+	pl := moduloPlacement(t, evolved, 4)
+	coldRes, coldStates, err := engine.RunSyncReference[prState, float64](pr, pl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resume := pr.Resume(prior)
+	envelope := 2 * pr.Tolerance / (1 - pr.Damping)
+	run := func(name string, vals []prState, res *engine.Result) {
+		t.Helper()
+		for v := range coldStates {
+			if diff := math.Abs(vals[v].rank - coldStates[v].rank); diff > envelope {
+				t.Fatalf("%s: vertex %d resumed rank %v vs cold %v (diff %v > envelope %v)",
+					name, v, vals[v].rank, coldStates[v].rank, diff, envelope)
+			}
+		}
+		if res != nil && res.Supersteps > coldRes.Supersteps {
+			t.Errorf("%s: resumed run took %d supersteps, cold took %d", name, res.Supersteps, coldRes.Supersteps)
+		}
+	}
+	refRes, refVals, err := engine.RunSyncReferenceOpts[prState, float64](resume, pl, cl, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("reference", refVals, refRes)
+	_, csrVals, err := engine.RunSyncOpts[prState, float64](resume, pl, cl, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("csr", csrVals, nil)
+	_, parVals, err := engine.RunSyncParallelOpts[prState, float64](resume, pl, cl, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run("parallel", parVals, nil)
+}
+
+// TestResumeAcrossVertexSpaceChange covers deltas that grow or shrink the ID
+// space: grown vertices start cold, shrunk priors are ignored past the new
+// bound, and resumed CC labels still match a cold run exactly.
+func TestResumeAcrossVertexSpaceChange(t *testing.T) {
+	cl := heteroCluster(t)
+	cc := NewConnectedComponents()
+	base := &graph.Graph{
+		Name:        "spaces",
+		NumVertices: 5,
+		Edges:       []graph.Edge{E(0, 1), E(1, 2), E(3, 4)},
+	}
+	_, prior, err := engine.RunSyncReference[uint32, uint32](cc, moduloPlacement(t, base, 4), cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grow := &graph.Delta{Time: 1, Inserts: []graph.Edge{E(5, 6), E(2, 5)}, NumVertices: 7}
+	shrink := &graph.Delta{Time: 1, Deletes: []graph.Edge{E(3, 4)}, NumVertices: 3}
+	for _, tc := range []struct {
+		name string
+		d    *graph.Delta
+	}{{"grow", grow}, {"shrink", shrink}} {
+		t.Run(tc.name, func(t *testing.T) {
+			evolved, err := tc.d.Apply(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl := moduloPlacement(t, evolved, 4)
+			_, cold, err := engine.RunSyncReference[uint32, uint32](cc, pl, cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resume := cc.Resume(prior, tc.d, evolved)
+			_, got, err := engine.RunSyncReferenceOpts[uint32, uint32](resume, pl, cl, engine.Options{InitialActive: resume.Seed()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range cold {
+				if got[v] != cold[v] {
+					t.Fatalf("vertex %d: resumed label %d, cold %d", v, got[v], cold[v])
+				}
+			}
+		})
+	}
+
+	// PageRank across a grow: new vertices start cold and the run completes.
+	pr := NewPageRank()
+	evolved, err := grow.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorRanks := []float64{1.1, 1.2, 1.3, 0.9, 0.8}
+	resume := pr.Resume(priorRanks)
+	_, vals, err := engine.RunSyncReferenceOpts[prState, float64](resume, moduloPlacement(t, evolved, 4), cl, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != evolved.NumVertices {
+		t.Fatalf("resumed PR produced %d states for %d vertices", len(vals), evolved.NumVertices)
+	}
+}
+
+// TestChaosAmendedPlacement is the chaos satellite: a placement produced by
+// incremental amendment, driven by a warm-started program, must recover from
+// seeded fault schedules to exactly the fault-free answer with bitwise
+// accounting agreement across all three engines — the same guarantees the
+// chaos suite pins for cold placements.
+func TestChaosAmendedPlacement(t *testing.T) {
+	old := engine.ParallelShards
+	engine.ParallelShards = 4
+	t.Cleanup(func() { engine.ParallelShards = old })
+
+	base := equivGraph(t)
+	cl := heteroCluster(t)
+	shares := partition.UniformShares(4)
+	part := partition.NewHDRF()
+
+	basePl, err := partition.Apply(part, base, shares, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, evolved := evolveEquiv(t, base, 200, 200, 21)
+	pl, err := partition.AmendApply(part, basePl, d, evolved, shares, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc := NewConnectedComponents()
+	_, prior, err := engine.RunSyncReference[uint32, uint32](cc, basePl, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := cc.Resume(prior, d, evolved)
+	seedOpts := engine.Options{InitialActive: resume.Seed()}
+
+	_, want, err := engine.RunSyncReferenceOpts[uint32, uint32](resume, pl, cl, seedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, schedSeed := range []uint64{1, 2, 3} {
+		sched, err := fault.NewSchedule(schedSeed, fault.Spec{
+			Machines: 4, Horizon: 6, Crashes: 2, Stragglers: 2, NetworkFaults: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := &engine.FaultConfig{
+			Injector:        sched,
+			CheckpointEvery: 3,
+			Policy:          engine.RecoverCheckpoint,
+		}
+		opts := engine.Options{Fault: cfg, InitialActive: resume.Seed()}
+		refRes, refVals, err := engine.RunSyncReferenceOpts[uint32, uint32](resume, pl, cl, opts)
+		if err != nil {
+			t.Fatalf("schedule %d reference: %v", schedSeed, err)
+		}
+		csrRes, csrVals, err := engine.RunSyncOpts[uint32, uint32](resume, pl, cl, opts)
+		if err != nil {
+			t.Fatalf("schedule %d csr: %v", schedSeed, err)
+		}
+		parRes, parVals, err := engine.RunSyncParallelOpts[uint32, uint32](resume, pl, cl, opts)
+		if err != nil {
+			t.Fatalf("schedule %d parallel: %v", schedSeed, err)
+		}
+		sameAccounting(t, "amended/csr", refRes, csrRes)
+		sameAccounting(t, "amended/parallel", refRes, parRes)
+		for v := range want {
+			if refVals[v] != want[v] || csrVals[v] != want[v] || parVals[v] != want[v] {
+				t.Fatalf("schedule %d vertex %d: ref=%d csr=%d par=%d, fault-free %d",
+					schedSeed, v, refVals[v], csrVals[v], parVals[v], want[v])
+			}
+		}
+	}
+}

@@ -46,6 +46,17 @@ func (f *frontier) fill() {
 	f.overflow = true
 }
 
+// seed activates exactly the given vertices (the warm-start superstep-0
+// frontier). Duplicates are tolerated — Options.InitialActive is
+// caller-supplied — by testing the bitmap before each add.
+func (f *frontier) seed(vs []graph.VertexID) {
+	for _, v := range vs {
+		if !f.bits[v] {
+			f.add(v)
+		}
+	}
+}
+
 // add activates v. Each vertex is applied at most once per superstep (masters
 // partition the vertex set), so callers never add the same vertex twice and
 // the worklist needs no deduplication.

@@ -141,7 +141,14 @@ func RunSyncParallelOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluste
 	applyBounds := cutBounds(prefix, total, n, applyChunks)
 
 	front := newFrontier(n)
-	front.fill()
+	if opts.InitialActive != nil && !applyAll {
+		if err := validateInitialActive(opts.InitialActive, n); err != nil {
+			return nil, nil, err
+		}
+		front.seed(opts.InitialActive)
+	} else {
+		front.fill()
+	}
 	next := newFrontier(n)
 
 	ft, err := newFTRun[V](opts.Fault, cl)

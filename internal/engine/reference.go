@@ -45,9 +45,6 @@ func RunSyncReferenceOpts[V, A any](prog Program[V, A], pl *Placement, cl *clust
 	has := make([]bool, n)
 	active := make([]bool, n)
 	nextActive := make([]bool, n)
-	for v := range active {
-		active[v] = true
-	}
 	// touched[v] stamps the last (superstep, machine) pair that contributed a
 	// partial for v, so each (machine, vertex) partial is counted once;
 	// contribs[v] counts that pair's gathers into v for skew accounting.
@@ -62,8 +59,26 @@ func RunSyncReferenceOpts[V, A any](prog Program[V, A], pl *Placement, cl *clust
 	account := NewAccountant(cl, prog.Coeffs())
 	account.SetCollector(opts.Trace)
 
-	// frontCount tracks the active-set size for checkpointing.
-	frontCount := n
+	// frontCount tracks the active-set size for checkpointing. The frontier
+	// starts full unless a warm-start seed narrows it (see
+	// Options.InitialActive).
+	frontCount := 0
+	if opts.InitialActive != nil && !applyAll {
+		if err := validateInitialActive(opts.InitialActive, n); err != nil {
+			return nil, nil, err
+		}
+		for _, v := range opts.InitialActive {
+			if !active[v] {
+				active[v] = true
+				frontCount++
+			}
+		}
+	} else {
+		for v := range active {
+			active[v] = true
+		}
+		frontCount = n
+	}
 	ft, err := newFTRun[V](opts.Fault, cl)
 	if err != nil {
 		return nil, nil, err

@@ -125,10 +125,18 @@ func RunSyncOpts[V, A any](prog Program[V, A], pl *Placement, cl *cluster.Cluste
 	account := NewAccountant(cl, prog.Coeffs())
 	account.SetCollector(opts.Trace)
 
-	// The frontier starts full: every vertex gathers in superstep 0, exactly
-	// as the reference engine's all-true active bitmap prescribes.
+	// The frontier starts full — every vertex gathers in superstep 0, exactly
+	// as the reference engine's all-true active bitmap prescribes — unless a
+	// warm-start seed narrows it to the vertices a delta batch touched.
 	front := newFrontier(n)
-	front.fill()
+	if opts.InitialActive != nil && !applyAll {
+		if err := validateInitialActive(opts.InitialActive, n); err != nil {
+			return nil, nil, err
+		}
+		front.seed(opts.InitialActive)
+	} else {
+		front.fill()
+	}
 	next := newFrontier(n)
 
 	ft, err := newFTRun[V](opts.Fault, cl)

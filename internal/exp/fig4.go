@@ -59,8 +59,8 @@ func (l *Lab) Fig4() (*metrics.Table, error) {
 				metrics.Seconds(m.ApplySeconds), metrics.Seconds(m.CommSeconds),
 				metrics.Seconds(m.IdleSeconds), fmt.Sprintf("%d/%d", m.StragglerSteps, sum.SyncSteps))
 		}
-		t.AddNote(fmt.Sprintf("%s: makespan %s, step imbalance %.2fx",
-			sys.Name, metrics.Seconds(res.SimSeconds), sum.Imbalance))
+		t.AddNote("%s: makespan %s, step imbalance %.2fx",
+			sys.Name, metrics.Seconds(res.SimSeconds), sum.Imbalance)
 	}
 	t.AddNote("idle is barrier wait for slower machines; straggled counts supersteps a machine set the barrier")
 	return t, nil

@@ -34,6 +34,7 @@ func TestGoldenTables(t *testing.T) {
 		{"recovery", func() (interface{ String() string }, error) { return lab.RecoveryStudy() }},
 		{"overload", func() (interface{ String() string }, error) { return lab.ServiceOverloadStudy() }},
 		{"clusterbfs", func() (interface{ String() string }, error) { return lab.ClusterBFSStudy() }},
+		{"evolve", func() (interface{ String() string }, error) { return lab.EvolveStudy() }},
 	}
 	for _, tc := range cases {
 		tc := tc

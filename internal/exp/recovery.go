@@ -99,7 +99,8 @@ func (l *Lab) RecoveryStudy() (*metrics.Table, error) {
 			metrics.Seconds(crashBig.SimSeconds),
 			metrics.Seconds(restart.SimSeconds))
 	}
-	t.AddNote("fault-free baseline without checkpointing: " + metrics.Seconds(base.SimSeconds) +
-		"; survivors absorb the dead machine's edges, so losing the ladder's largest machine costs more than losing its smallest")
+	t.AddNote("fault-free baseline without checkpointing: %s"+
+		"; survivors absorb the dead machine's edges, so losing the ladder's largest machine costs more than losing its smallest",
+		metrics.Seconds(base.SimSeconds))
 	return t, nil
 }

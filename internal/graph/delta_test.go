@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// deltaBase is a small weighted graph with a duplicate edge, so the
+// first-remaining-occurrence delete semantics are observable.
+func deltaBase() *Graph {
+	return &Graph{
+		Name:        "base",
+		NumVertices: 5,
+		Edges:       []Edge{{0, 1}, {1, 2}, {0, 1}, {2, 3}, {3, 4}},
+		Weights:     []float32{1, 2, 3, 4, 5},
+	}
+}
+
+func TestDeltaApply(t *testing.T) {
+	base := deltaBase()
+	d := &Delta{
+		Time:          7,
+		Deletes:       []Edge{{0, 1}, {3, 4}},
+		Inserts:       []Edge{{4, 0}, {0, 1}},
+		InsertWeights: []float32{9, 8},
+	}
+	evolved, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := []Edge{{1, 2}, {0, 1}, {2, 3}, {4, 0}, {0, 1}}
+	wantWeights := []float32{2, 3, 4, 9, 8}
+	if len(evolved.Edges) != len(wantEdges) {
+		t.Fatalf("evolved has %d edges, want %d", len(evolved.Edges), len(wantEdges))
+	}
+	for i := range wantEdges {
+		if evolved.Edges[i] != wantEdges[i] || evolved.Weights[i] != wantWeights[i] {
+			t.Fatalf("edge %d: got %v/%v, want %v/%v",
+				i, evolved.Edges[i], evolved.Weights[i], wantEdges[i], wantWeights[i])
+		}
+	}
+	if evolved.NumVertices != base.NumVertices {
+		t.Fatalf("vertex count changed to %d", evolved.NumVertices)
+	}
+	if evolved.Name != "base@t7" {
+		t.Fatalf("evolved name %q", evolved.Name)
+	}
+	// The base graph must be untouched.
+	if len(base.Edges) != 5 || base.Edges[0] != (Edge{0, 1}) || base.Weights[0] != 1 {
+		t.Fatal("Apply mutated the base graph")
+	}
+}
+
+func TestDeltaApplyGrowsAndShrinks(t *testing.T) {
+	base := &Graph{NumVertices: 3, Edges: []Edge{{0, 1}, {1, 2}}}
+
+	grow := &Delta{Time: 1, Inserts: []Edge{{2, 4}}, NumVertices: 5}
+	evolved, err := grow.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evolved.NumVertices != 5 || len(evolved.Edges) != 3 {
+		t.Fatalf("grow produced |V|=%d |E|=%d", evolved.NumVertices, len(evolved.Edges))
+	}
+	if evolved.Weights != nil {
+		t.Fatal("unweighted base grew a weight column")
+	}
+
+	shrink := &Delta{Time: 2, Deletes: []Edge{{1, 2}}, NumVertices: 2}
+	evolved, err = shrink.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evolved.NumVertices != 2 || len(evolved.Edges) != 1 {
+		t.Fatalf("shrink produced |V|=%d |E|=%d", evolved.NumVertices, len(evolved.Edges))
+	}
+
+	// Shrinking below a surviving endpoint must fail, not truncate.
+	if _, err := (&Delta{Time: 3, NumVertices: 2}).Apply(base); err == nil {
+		t.Fatal("shrink below surviving endpoint accepted")
+	}
+}
+
+func TestDeltaErrors(t *testing.T) {
+	base := deltaBase()
+	cases := []struct {
+		name string
+		d    *Delta
+	}{
+		{"zero time", &Delta{Inserts: []Edge{{0, 2}}, InsertWeights: []float32{1}}},
+		{"negative vertices", &Delta{Time: 1, NumVertices: -1}},
+		{"insert out of range", &Delta{Time: 1, Inserts: []Edge{{0, 9}}, InsertWeights: []float32{1}}},
+		{"insert self-loop", &Delta{Time: 1, Inserts: []Edge{{2, 2}}, InsertWeights: []float32{1}}},
+		{"weight count mismatch", &Delta{Time: 1, Inserts: []Edge{{0, 2}}, InsertWeights: []float32{1, 2}}},
+		{"weighted base needs weights", &Delta{Time: 1, Inserts: []Edge{{0, 2}}}},
+		{"delete absent edge", &Delta{Time: 1, Deletes: []Edge{{4, 1}}}},
+		{"delete more occurrences than present", &Delta{Time: 1, Deletes: []Edge{{1, 2}, {1, 2}}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.d.Apply(base); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDeltaDeletedIndices(t *testing.T) {
+	base := deltaBase()
+	// Two deletes of the duplicate (0,1) must claim both occurrences, in
+	// ascending index order.
+	d := &Delta{Time: 1, Deletes: []Edge{{0, 1}, {0, 1}}}
+	idx, err := d.DeletedIndices(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("indices %v, want [0 2]", idx)
+	}
+}
+
+func TestDeltaTouched(t *testing.T) {
+	d := &Delta{
+		Time:    1,
+		Inserts: []Edge{{4, 0}},
+		Deletes: []Edge{{2, 3}, {0, 1}},
+	}
+	got := d.Touched()
+	want := []VertexID{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("touched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("touched %v, want %v", got, want)
+		}
+	}
+}
+
+// weightedEdge is an edge occurrence with its weight, the unit of the
+// multiset the delta round trip must preserve.
+type weightedEdge struct {
+	e Edge
+	w float32
+}
+
+func edgeMultiset(g *Graph) []weightedEdge {
+	out := make([]weightedEdge, len(g.Edges))
+	for i, e := range g.Edges {
+		out[i] = weightedEdge{e: e, w: g.Weight(i)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.e.Src != b.e.Src {
+			return a.e.Src < b.e.Src
+		}
+		if a.e.Dst != b.e.Dst {
+			return a.e.Dst < b.e.Dst
+		}
+		return a.w < b.w
+	})
+	return out
+}
+
+func sameMultiset(t *testing.T, label string, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices != b.NumVertices {
+		t.Fatalf("%s: vertex counts %d vs %d", label, a.NumVertices, b.NumVertices)
+	}
+	ma, mb := edgeMultiset(a), edgeMultiset(b)
+	if len(ma) != len(mb) {
+		t.Fatalf("%s: edge counts %d vs %d", label, len(ma), len(mb))
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("%s: multiset entry %d: %v vs %v", label, i, ma[i], mb[i])
+		}
+	}
+}
+
+func TestDeltaInverseRoundTrip(t *testing.T) {
+	base := deltaBase()
+	d := &Delta{
+		Time:          3,
+		Deletes:       []Edge{{0, 1}, {2, 3}},
+		Inserts:       []Edge{{4, 1}},
+		InsertWeights: []float32{6},
+	}
+	evolved, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := d.Inverse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := inv.Apply(evolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, "round trip", base, back)
+}
+
+// FuzzDelta drives random mutation batches end to end: any delta the
+// validator accepts must apply cleanly, produce a structurally valid graph
+// with the implied edge count, and unapply (via Inverse) back to the base
+// graph's exact weighted-edge multiset.
+func FuzzDelta(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(3), uint8(2))
+	f.Add([]byte{0xff, 0x00, 0x80}, uint8(0), uint8(5))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint8(8), uint8(0))
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, nIns, nDel uint8) {
+		next := func(i int) int {
+			if len(data) == 0 {
+				return i
+			}
+			return int(data[i%len(data)]) + i
+		}
+		// Deterministic base graph shaped by the fuzz input.
+		n := 4 + next(0)%12
+		base := &Graph{Name: "fuzz", NumVertices: n}
+		for i := 0; i < 6+next(1)%20; i++ {
+			u := next(2*i) % n
+			v := next(2*i+1) % n
+			if u == v {
+				v = (v + 1) % n
+			}
+			base.Edges = append(base.Edges, Edge{Src: VertexID(u), Dst: VertexID(v)})
+			base.Weights = append(base.Weights, float32(1+next(i)%5))
+		}
+		if err := base.Validate(); err != nil {
+			t.Fatalf("fuzz base invalid: %v", err)
+		}
+
+		d := &Delta{Time: 1 + uint64(next(3)%9)}
+		for i := 0; i < int(nDel)%8 && i < len(base.Edges); i++ {
+			d.Deletes = append(d.Deletes, base.Edges[next(7*i)%len(base.Edges)])
+		}
+		for i := 0; i < int(nIns)%8; i++ {
+			u := next(11*i) % n
+			v := next(13*i+1) % n
+			if u == v {
+				continue
+			}
+			d.Inserts = append(d.Inserts, Edge{Src: VertexID(u), Dst: VertexID(v)})
+			d.InsertWeights = append(d.InsertWeights, float32(next(i)%7))
+		}
+		if len(d.Inserts) == 0 {
+			d.InsertWeights = nil
+		}
+
+		evolved, err := d.Apply(base)
+		if err != nil {
+			// Duplicated deletes can exceed the occurrences present; any
+			// error must be a rejection, not a bad graph.
+			return
+		}
+		if err := evolved.Validate(); err != nil {
+			t.Fatalf("evolved graph invalid: %v", err)
+		}
+		deleted, err := d.DeletedIndices(base)
+		if err != nil {
+			t.Fatalf("apply succeeded but DeletedIndices failed: %v", err)
+		}
+		if want := len(base.Edges) - len(deleted) + len(d.Inserts); len(evolved.Edges) != want {
+			t.Fatalf("evolved has %d edges, want %d", len(evolved.Edges), want)
+		}
+		inv, err := d.Inverse(base)
+		if err != nil {
+			t.Fatalf("inverse: %v", err)
+		}
+		back, err := inv.Apply(evolved)
+		if err != nil {
+			t.Fatalf("unapply: %v", err)
+		}
+		sameMultiset(t, "fuzz round trip", base, back)
+	})
+}

@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"proxygraph/internal/gen"
+	"proxygraph/internal/graph"
+)
+
+// amendShapes are the delta shapes the differential suite sweeps.
+var amendShapes = []struct {
+	name             string
+	inserts, deletes int
+}{
+	{"insert-only", 400, 0},
+	{"delete-only", 0, 400},
+	{"mixed", 300, 300},
+}
+
+// normImbalance is the owner vector's worst per-machine overload relative to
+// its share target: 1.0 is perfect proportionality.
+func normImbalance(t *testing.T, owner []int32, shares []float64) float64 {
+	t.Helper()
+	counts := make([]float64, len(shares))
+	for i, p := range owner {
+		if p < 0 || int(p) >= len(shares) {
+			t.Fatalf("edge %d assigned to machine %d outside [0,%d)", i, p, len(shares))
+		}
+		counts[p]++
+	}
+	worst := 0.0
+	for p := range counts {
+		if r := counts[p] / float64(len(owner)) / shares[p]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// sameOwners asserts two owner vectors are bit-identical.
+func sameOwners(t *testing.T, label string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d owners vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: owner %d is %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestAmendDifferential sweeps every Amender across window sizes, shard
+// counts, delta shapes, machine counts and share skews, checking the
+// per-algorithm fidelity contract documented on Amender:
+//
+//   - random and hybrid amendments are bit-identical to a full Partition of
+//     the evolved graph;
+//   - oblivious, hdrf and ginger amendments stay within the imbalance
+//     envelope (10% relative + 0.05 absolute) of a full re-ingress;
+//   - every amended vector is valid and invariant to the parallelism knobs.
+func TestAmendDifferential(t *testing.T) {
+	base := testGraph(t, 71, 800, 6400)
+	const seed = 101
+	exact := map[string]bool{"random": true, "hybrid": true}
+
+	// Knob invariance: the amended vector for a config must not depend on
+	// the window/shard settings. Keyed per (partitioner, shape, m, share).
+	pinned := map[string][]int32{}
+
+	for _, shape := range amendShapes {
+		d, err := gen.RandomDelta(base, gen.DeltaSpec{
+			Inserts: shape.inserts, Deletes: shape.deletes, Time: 1,
+		}, 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evolved, err := d.Apply(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, windows := range []int{64, 4096} {
+			for _, shards := range []int{1, 8} {
+				setWindows(t, windows)
+				setShards(t, shards)
+				for _, m := range []int{1, 8} {
+					for si, shares := range diffShareVectors(t, m) {
+						for _, p := range WithExtensions() {
+							a, ok := p.(Amender)
+							if !ok {
+								continue
+							}
+							label := fmt.Sprintf("%s/%s/w%d/s%d/m%d/share%d",
+								p.Name(), shape.name, windows, shards, m, si)
+							baseOwner, err := p.Partition(base, shares, seed)
+							if err != nil {
+								t.Fatal(label, err)
+							}
+							amended, err := a.Amend(base, baseOwner, d, evolved, shares, seed)
+							if err != nil {
+								t.Fatal(label, err)
+							}
+							full, err := p.Partition(evolved, shares, seed)
+							if err != nil {
+								t.Fatal(label, err)
+							}
+							if exact[p.Name()] {
+								sameOwners(t, label, amended, full)
+							} else {
+								got := normImbalance(t, amended, shares)
+								want := normImbalance(t, full, shares)
+								if got > want*1.10+0.05 {
+									t.Errorf("%s: amended imbalance %.4f exceeds envelope over full %.4f",
+										label, got, want)
+								}
+							}
+							key := fmt.Sprintf("%s/%s/m%d/share%d", p.Name(), shape.name, m, si)
+							if prev, ok := pinned[key]; !ok {
+								pinned[key] = amended
+							} else {
+								sameOwners(t, key+" knob invariance", amended, prev)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAmendRejectsMismatchedInputs pins the cross-checks that keep Amend from
+// silently trusting a stale or misaligned base.
+func TestAmendRejectsMismatchedInputs(t *testing.T) {
+	base := testGraph(t, 5, 100, 800)
+	// Asymmetric counts, so the evolved edge count differs from the base's
+	// and the wrong-evolved-graph check below can trip on it.
+	d, err := gen.RandomDelta(base, gen.DeltaSpec{Inserts: 10, Deletes: 4, Time: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evolved, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := UniformShares(2)
+	for _, p := range WithExtensions() {
+		a, ok := p.(Amender)
+		if !ok {
+			continue
+		}
+		owner, err := p.Partition(base, shares, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Amend(base, owner[:len(owner)-1], d, evolved, shares, 1); err == nil {
+			t.Errorf("%s: accepted a short owner vector", p.Name())
+		}
+		if _, err := a.Amend(base, owner, d, base, shares, 1); err == nil {
+			t.Errorf("%s: accepted an evolved graph with the wrong edge count", p.Name())
+		}
+		if _, err := a.Amend(base, owner, d, evolved, []float64{0.5, 0.1}, 1); err == nil {
+			t.Errorf("%s: accepted non-normalized shares", p.Name())
+		}
+	}
+}
+
+// TestAmendGrowsVertexSpace exercises amendment across a vertex-space grow,
+// where the evolved graph has endpoints the base never saw.
+func TestAmendGrowsVertexSpace(t *testing.T) {
+	base := testGraph(t, 9, 200, 1600)
+	d := &graph.Delta{
+		Time:        2,
+		Inserts:     []graph.Edge{{Src: graph.VertexID(base.NumVertices), Dst: 0}, {Src: 1, Dst: graph.VertexID(base.NumVertices + 3)}},
+		NumVertices: base.NumVertices + 4,
+	}
+	evolved, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := UniformShares(4)
+	for _, p := range WithExtensions() {
+		a, ok := p.(Amender)
+		if !ok {
+			continue
+		}
+		owner, err := p.Partition(base, shares, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amended, err := a.Amend(base, owner, d, evolved, shares, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		normImbalance(t, amended, shares) // validity: every owner in range
+		if len(amended) != len(evolved.Edges) {
+			t.Fatalf("%s: %d owners for %d evolved edges", p.Name(), len(amended), len(evolved.Edges))
+		}
+	}
+}

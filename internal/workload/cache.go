@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"math"
+	"reflect"
 	"sync"
 	"time"
 
@@ -46,8 +47,33 @@ type PlacementCache struct {
 	maxBytes   int64
 	bytes      int64
 
-	hits, misses, evictions uint64
-	ingressWall             time.Duration
+	hits, misses, amends, evictions uint64
+	ingressWall                     time.Duration
+}
+
+// PlaceOutcome reports how PlaceEvolved satisfied a request.
+type PlaceOutcome int
+
+const (
+	// PlaceMiss means a full ingress ran.
+	PlaceMiss PlaceOutcome = iota
+	// PlaceHit means the placement was served from the cache.
+	PlaceHit
+	// PlaceAmend means the base version's cached placement was patched
+	// incrementally for the evolved graph.
+	PlaceAmend
+)
+
+// String renders the outcome for experiment tables.
+func (o PlaceOutcome) String() string {
+	switch o {
+	case PlaceHit:
+		return "hit"
+	case PlaceAmend:
+		return "amend"
+	default:
+		return "miss"
+	}
 }
 
 // cacheKey is the content fingerprint of one ingress invocation.
@@ -88,11 +114,17 @@ func NewBoundedPlacementCache(maxEntries int, maxBytes int64) *PlacementCache {
 
 // CacheStats is a snapshot of the cache's counters.
 type CacheStats struct {
-	// Hits counts placements served from the cache (including callers that
-	// joined an in-flight build).
+	// Hits counts placements served from the cache, including callers that
+	// joined an in-flight build — but only joins that received a placement. A
+	// join on a build that fails is not a hit: the caller got an error, not a
+	// cached placement.
 	Hits uint64
-	// Misses counts ingress runs the cache performed.
+	// Misses counts full ingress runs the cache performed.
 	Misses uint64
+	// Amends counts evolved-graph requests served by incrementally patching
+	// the base version's placement (see PlaceEvolved) — cheaper than a miss,
+	// not as free as a hit, so they are counted separately from both.
+	Amends uint64
 	// Evictions counts completed entries dropped to satisfy the entry or
 	// byte bound.
 	Evictions uint64
@@ -112,6 +144,7 @@ func (c *PlacementCache) Stats() CacheStats {
 	return CacheStats{
 		Hits:               c.hits,
 		Misses:             c.misses,
+		Amends:             c.amends,
 		Evictions:          c.evictions,
 		Entries:            len(c.entries),
 		Bytes:              c.bytes,
@@ -130,16 +163,10 @@ func (c *PlacementCache) Len() int {
 // ingress on the first request for a key and serving every repeat from the
 // cache. hit reports whether ingress was skipped.
 func (c *PlacementCache) Place(part partition.Partitioner, g *graph.Graph, shares []float64, seed uint64) (pl *engine.Placement, hit bool, err error) {
-	key := c.key(part, g, shares, seed)
+	key := c.keyFP(GraphFingerprint(g), part, shares, seed)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
-		c.hits++
-		if e.elem != nil {
-			c.lru.MoveToFront(e.elem)
-		}
-		c.mu.Unlock()
-		<-e.done
-		return e.pl, true, e.err
+		return c.join(e)
 	}
 	e := &cacheEntry{key: key, done: make(chan struct{})}
 	c.entries[key] = e
@@ -148,25 +175,117 @@ func (c *PlacementCache) Place(part partition.Partitioner, g *graph.Graph, share
 
 	start := time.Now()
 	e.pl, e.err = partition.Apply(part, g, shares, seed)
-	elapsed := time.Since(start)
-	close(e.done)
+	c.finish(e, time.Since(start))
+	return e.pl, false, e.err
+}
 
+// PlaceEvolved returns the finalized placement for the evolved graph (d
+// applied to base) under (part, shares, seed), revalidating by content: the
+// evolved version's fingerprint is chained from base's over the batch
+// (EvolveFingerprint), a cached evolved placement is a hit, and when the base
+// version's placement is cached and the partitioner can amend, the evolved
+// placement is patched incrementally from it instead of re-ingressing —
+// falling back to a full build if amendment fails. evolved must be
+// d.Apply(base)'s result.
+func (c *PlacementCache) PlaceEvolved(part partition.Partitioner, base *graph.Graph, d *graph.Delta, evolved *graph.Graph, shares []float64, seed uint64) (pl *engine.Placement, outcome PlaceOutcome, err error) {
+	evolvedFP, err := EvolveFingerprint(base, d, evolved)
+	if err != nil {
+		return nil, PlaceMiss, fmt.Errorf("workload: evolve fingerprint: %w", err)
+	}
+	key := c.keyFP(evolvedFP, part, shares, seed)
+	baseKey := c.keyFP(GraphFingerprint(base), part, shares, seed)
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		pl, hit, err := c.join(e)
+		if !hit {
+			return nil, PlaceMiss, err
+		}
+		return pl, PlaceHit, nil
+	}
+	// The base placement is usable for amendment only if its build already
+	// completed cleanly; an in-flight base build is not waited on — a full
+	// ingress of the evolved graph is no slower than one of the base.
+	var basePl *engine.Placement
+	amender, canAmend := part.(partition.Amender)
+	if be, ok := c.entries[baseKey]; ok && canAmend {
+		select {
+		case <-be.done:
+			if be.err == nil {
+				basePl = be.pl
+				if be.elem != nil {
+					c.lru.MoveToFront(be.elem)
+				}
+			}
+		default:
+		}
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	if basePl != nil {
+		c.amends++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	outcome = PlaceMiss
+	start := time.Now()
+	if basePl != nil {
+		outcome = PlaceAmend
+		e.pl, e.err = partition.AmendApply(amender, basePl, d, evolved, shares, seed)
+		if e.err != nil {
+			// Amendment is an optimization, not a contract: rebuild from
+			// scratch and reclassify the request as a miss.
+			outcome = PlaceMiss
+			c.mu.Lock()
+			c.amends--
+			c.misses++
+			c.mu.Unlock()
+			e.pl, e.err = partition.Apply(part, evolved, shares, seed)
+		}
+	} else {
+		e.pl, e.err = partition.Apply(part, evolved, shares, seed)
+	}
+	c.finish(e, time.Since(start))
+	return e.pl, outcome, e.err
+}
+
+// join serves a request from an existing entry, blocking on an in-flight
+// build. The caller must hold c.mu; join releases it. A join on a build that
+// fails reports hit=false and counts nothing — the caller received an error,
+// not a placement.
+func (c *PlacementCache) join(e *cacheEntry) (*engine.Placement, bool, error) {
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.mu.Unlock()
+	<-e.done
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	return e.pl, true, nil
+}
+
+// finish publishes a build's result: wake the waiters, then either drop the
+// entry (failures are not cached — a later retry must re-run ingress) or
+// promote it into the LRU order and enforce the bounds.
+func (c *PlacementCache) finish(e *cacheEntry, elapsed time.Duration) {
+	close(e.done)
 	c.mu.Lock()
 	c.ingressWall += elapsed
 	if e.err != nil {
-		// Do not cache failures: a later retry (e.g. after the caller fixes
-		// its share vector) must re-run ingress.
-		delete(c.entries, key)
-	} else if _, still := c.entries[key]; still {
-		// The build finished and nothing raced it out of the map: promote it
-		// into the LRU order and enforce the bounds.
+		delete(c.entries, e.key)
+	} else if cur, still := c.entries[e.key]; still && cur == e {
 		e.bytes = placementBytes(e.pl)
 		c.bytes += e.bytes
 		e.elem = c.lru.PushFront(e)
 		c.evictOverLimitLocked(e)
 	}
 	c.mu.Unlock()
-	return e.pl, false, e.err
 }
 
 // evictOverLimitLocked drops least-recently-used completed entries until both
@@ -220,14 +339,15 @@ func placementBytes(pl *engine.Placement) int64 {
 	return edgeBytes + vertBytes
 }
 
-// key fingerprints one ingress invocation.
-func (c *PlacementCache) key(part partition.Partitioner, g *graph.Graph, shares []float64, seed uint64) cacheKey {
+// keyFP fingerprints one ingress invocation, with the graph identified by an
+// already-computed content fingerprint.
+func (c *PlacementCache) keyFP(graphFP uint64, part partition.Partitioner, shares []float64, seed uint64) cacheKey {
 	sharesFP := uint64(0x73686172) // "shar" domain
 	for _, s := range shares {
 		sharesFP = rng.Hash2(sharesFP, math.Float64bits(s))
 	}
 	return cacheKey{
-		graphFP:  GraphFingerprint(g),
+		graphFP:  graphFP,
 		partFP:   partitionerFingerprint(part),
 		sharesFP: sharesFP,
 		seed:     seed,
@@ -235,9 +355,79 @@ func (c *PlacementCache) key(part partition.Partitioner, g *graph.Graph, shares 
 	}
 }
 
-// partitionerFingerprint identifies the algorithm and its parameters. The
-// %+v rendering covers every exported field (thresholds, gammas, lambdas), so
-// two instances of the same type with different tuning never share placements.
+// partitionerFingerprint identifies the algorithm and its parameters by
+// hashing the type name, Name() and every exported field value explicitly, so
+// two instances of the same type with different tuning never share placements
+// and two instances with equal tuning always do. The previous %+v rendering
+// broke the second half of that contract the moment a partitioner grew a
+// pointer- or slice-valued field: %+v prints addresses for those, making the
+// fingerprint differ between structurally identical instances (and between
+// process runs).
 func partitionerFingerprint(part partition.Partitioner) uint64 {
-	return rng.HashString(fmt.Sprintf("%s|%T%+v", part.Name(), part, part))
+	h := rng.Hash2(0x70617274 /* "part" */, rng.HashString(part.Name()))
+	h = rng.Hash2(h, rng.HashString(fmt.Sprintf("%T", part)))
+	v := reflect.ValueOf(part)
+	for v.Kind() == reflect.Pointer {
+		if v.IsNil() {
+			return rng.Hash2(h, 0)
+		}
+		v = v.Elem()
+	}
+	return hashReflect(h, v)
+}
+
+// hashReflect folds a value's content into h by structure, not by rendering:
+// numeric and string leaves hash their values, composites recurse in
+// declaration/index order, and pointers hash their pointees (with a nil/non-
+// nil discriminant) — never their addresses.
+func hashReflect(h uint64, v reflect.Value) uint64 {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			h = rng.Hash2(h, rng.HashString(f.Name))
+			h = hashReflect(h, v.Field(i))
+		}
+		return h
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return rng.Hash2(h, 0)
+		}
+		return hashReflect(rng.Hash2(h, 1), v.Elem())
+	case reflect.Slice, reflect.Array:
+		h = rng.Hash2(h, uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			h = hashReflect(h, v.Index(i))
+		}
+		return h
+	case reflect.Map:
+		// Order-independent: sum the entry hashes so iteration order cannot
+		// leak into the fingerprint.
+		var sum uint64
+		for it := v.MapRange(); it.Next(); {
+			sum += rng.Hash2(hashReflect(0x6b, it.Key()), hashReflect(0x76, it.Value()))
+		}
+		return rng.Hash2(rng.Hash2(h, uint64(v.Len())), sum)
+	case reflect.Bool:
+		if v.Bool() {
+			return rng.Hash2(h, 1)
+		}
+		return rng.Hash2(h, 0)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return rng.Hash2(h, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return rng.Hash2(h, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		return rng.Hash2(h, math.Float64bits(v.Float()))
+	case reflect.String:
+		return rng.Hash2(h, rng.HashString(v.String()))
+	default:
+		// Funcs, chans, unsafe pointers: no stable content to hash. Fold in
+		// the kind so the field still participates in the fingerprint.
+		return rng.Hash2(h, uint64(v.Kind()))
+	}
 }
